@@ -1,0 +1,209 @@
+// Command paperrepro regenerates every table and figure of the PUPiL paper
+// (ASPLOS 2016) on the simulated platform and prints them, optionally
+// writing CSV artifacts per experiment.
+//
+// Usage:
+//
+//	paperrepro [-quick] [-seed N] [-csv DIR] [-only LIST]
+//
+// -only selects a comma-separated subset of experiment names:
+// table1,table2,fig1,eas,table3,fig3,fig4,fig5,table4,table5,fig6,table6,fig7,fig8,
+// sensitivity.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"pupil/internal/experiment"
+	"pupil/internal/machine"
+	"pupil/internal/report"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run the reduced grid (3 caps, 8 benchmarks, shorter runs)")
+	seed := flag.Uint64("seed", 42, "random seed for the whole reproduction")
+	csvDir := flag.String("csv", "", "directory to write CSV artifacts into (created if missing)")
+	only := flag.String("only", "", "comma-separated subset of experiments to run")
+	flag.Parse()
+
+	cfg := experiment.Config{Seed: *seed, Quick: *quick}
+	sel := map[string]bool{}
+	for _, name := range strings.Split(*only, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			sel[strings.ToLower(name)] = true
+		}
+	}
+	want := func(name string) bool { return len(sel) == 0 || sel[name] }
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+
+	start := time.Now()
+	if want("table1") {
+		emit("table1", table1(), *csvDir)
+	}
+	if want("table2") {
+		_, t, err := experiment.Table2(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		emit("table2", t, *csvDir)
+	}
+	if want("fig1") {
+		runFig1(cfg, *csvDir)
+	}
+	if want("table3") {
+		t, err := experiment.Table3(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		emit("table3", t, *csvDir)
+	}
+	if want("fig3") {
+		ts, err := experiment.Fig3(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		for i, t := range ts {
+			emit(fmt.Sprintf("fig3_%d", i), t, *csvDir)
+		}
+	}
+	if want("fig4") {
+		t, err := experiment.Fig4(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		emit("fig4", t, *csvDir)
+	}
+	if want("fig5") {
+		_, t, err := experiment.Fig5(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		emit("fig5", t, *csvDir)
+	}
+	if want("table4") {
+		emit("table4", experiment.Table4(), *csvDir)
+	}
+	if want("table5") {
+		t, err := experiment.Table5(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		emit("table5", t, *csvDir)
+	}
+	if want("fig6") {
+		ts, err := experiment.Fig6(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		for i, t := range ts {
+			emit(fmt.Sprintf("fig6_%d", i), t, *csvDir)
+		}
+	}
+	if want("table6") {
+		t, err := experiment.Table6(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		emit("table6", t, *csvDir)
+	}
+	if want("fig7") {
+		ts, err := experiment.Fig7(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		for i, t := range ts {
+			emit(fmt.Sprintf("fig7_%d", i), t, *csvDir)
+		}
+	}
+	if want("sensitivity") {
+		_, t, err := experiment.Sensitivity(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		emit("sensitivity", t, *csvDir)
+	}
+	if want("eas") {
+		t, err := experiment.ExtensionEAS(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		emit("extension_eas", t, *csvDir)
+	}
+	if want("fig8") {
+		ts, err := experiment.Fig8(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		for i, t := range ts {
+			emit(fmt.Sprintf("fig8_%d", i), t, *csvDir)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "reproduction completed in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// table1 renders the platform description (the paper's Table 1).
+func table1() *report.Table {
+	p := machine.E52690Server()
+	t := report.NewTable("Table 1: Server resources",
+		"Processor", "Cores", "Sockets", "Speeds (GHz)", "TurboBoost", "HyperThreads",
+		"Memory Controllers", "Socket TDP (W)", "Configurations")
+	t.AddRow(p.Name,
+		fmt.Sprintf("%d", p.CoresPerSocket),
+		fmt.Sprintf("%d", p.Sockets),
+		fmt.Sprintf("%.1f-%.1f", p.MinGHz(), p.BaseGHz()),
+		"yes", "yes",
+		fmt.Sprintf("%d", p.MemCtls),
+		fmt.Sprintf("%.0f", p.SocketTDP),
+		fmt.Sprintf("%d", p.NumConfigurations()))
+	return t
+}
+
+func runFig1(cfg experiment.Config, csvDir string) {
+	res, err := experiment.Fig1(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	t := report.NewTable("Fig 1: x264 under a 140W cap (motivational example)",
+		"Technique", "Settling", "Converged perf (units/s)")
+	for _, tech := range []string{experiment.TechRAPL, experiment.TechSoftDecision, experiment.TechPUPiL} {
+		t.AddRow(tech, res.Settling[tech].Round(10*time.Millisecond).String(),
+			report.F(res.SteadyPerf[tech], 2))
+	}
+	emit("fig1", t, csvDir)
+	if csvDir != "" {
+		for tech, s := range res.Power {
+			write(csvDir, "fig1_power_"+tech+".csv", s.CSV())
+		}
+		for tech, s := range res.Perf {
+			write(csvDir, "fig1_perf_"+tech+".csv", s.CSV())
+		}
+	}
+}
+
+func emit(name string, t *report.Table, csvDir string) {
+	fmt.Println(t.String())
+	if csvDir != "" {
+		write(csvDir, name+".csv", t.CSV())
+	}
+}
+
+func write(dir, name, content string) {
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "paperrepro:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,197 @@
+// Command pupilsim runs one power-capped scenario on the simulated server
+// and reports the trace summary: settling time, steady performance and
+// power, final configuration, and the low-level counters.
+//
+// Usage:
+//
+//	pupilsim -bench x264 -cap 140 -tech PUPiL [-threads 32] [-dur 60s]
+//	pupilsim -mix mix8 -oblivious -cap 140 -tech RAPL
+//	pupilsim -bench kmeans -cap 100 -tech Soft-Decision -trace power.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"pupil"
+)
+
+func main() {
+	bench := flag.String("bench", "", "benchmark to run (see -list)")
+	mix := flag.String("mix", "", "multi-application mix to run (mix1..mix12)")
+	oblivious := flag.Bool("oblivious", false, "launch each mix application with all 32 threads (default: cooperative, 8 each)")
+	threads := flag.Int("threads", 32, "threads for a single-benchmark run")
+	capW := flag.Float64("cap", 140, "power cap in Watts")
+	tech := flag.String("tech", "PUPiL", "technique: RAPL, Soft-DVFS, Soft-Modeling, Soft-Decision, PUPiL")
+	dur := flag.Duration("dur", 60*time.Second, "simulated run duration")
+	seed := flag.Uint64("seed", 1, "random seed")
+	list := flag.Bool("list", false, "list benchmarks and mixes, then exit")
+	traceOut := flag.String("trace", "", "write the measured power trace as CSV to this file")
+	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON summary instead of text")
+	scenarioPath := flag.String("scenario", "", "run a JSON scenario file instead of -bench/-mix")
+	compare := flag.Bool("compare", false, "run every technique on the scenario and print a comparison table")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("benchmarks:", strings.Join(pupil.Benchmarks(), " "))
+		fmt.Println("mixes:     ", strings.Join(pupil.Mixes(), " "))
+		return
+	}
+
+	if *scenarioPath != "" {
+		spec, err := loadScenario(*scenarioPath)
+		if err != nil {
+			fatal(err)
+		}
+		if spec.Duration == 0 {
+			spec.Duration = *dur
+		}
+		res, err := pupil.Run(spec)
+		if err != nil {
+			fatal(err)
+		}
+		if *jsonOut {
+			out, err := res.Summarize(string(spec.Technique), spec.CapWatts, spec.Duration).JSON()
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(string(out))
+			return
+		}
+		printResult(string(spec.Technique), spec.CapWatts, spec.Duration, res, *traceOut)
+		return
+	}
+
+	var workloads []pupil.WorkloadSpec
+	switch {
+	case *bench != "" && *mix != "":
+		fatal(fmt.Errorf("use -bench or -mix, not both"))
+	case *bench != "":
+		workloads = []pupil.WorkloadSpec{{Benchmark: *bench, Threads: *threads}}
+	case *mix != "":
+		names, err := pupil.MixBenchmarks(*mix)
+		if err != nil {
+			fatal(err)
+		}
+		perApp := 8
+		if *oblivious {
+			perApp = 32
+		}
+		for _, n := range names {
+			workloads = append(workloads, pupil.WorkloadSpec{Benchmark: n, Threads: perApp})
+		}
+	default:
+		fatal(fmt.Errorf("one of -bench or -mix is required (try -list)"))
+	}
+
+	if *compare {
+		runCompare(workloads, *capW, *dur, *seed)
+		return
+	}
+
+	res, err := pupil.Run(pupil.RunSpec{
+		Workloads: workloads,
+		CapWatts:  *capW,
+		Technique: pupil.Technique(*tech),
+		Duration:  *dur,
+		Seed:      *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	if *jsonOut {
+		out, err := res.Summarize(*tech, *capW, *dur).JSON()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(out))
+		return
+	}
+
+	printResult(*tech, *capW, *dur, res, *traceOut)
+}
+
+// printResult renders the human-readable run summary.
+func printResult(tech string, capW float64, dur time.Duration, res pupil.Result, traceOut string) {
+	fmt.Printf("technique:      %s\n", tech)
+	fmt.Printf("cap:            %.0f W\n", capW)
+	if res.Settled {
+		fmt.Printf("settling:       %v\n", res.Settling.Round(10*time.Millisecond))
+	} else {
+		fmt.Printf("settling:       never (cap not met)\n")
+	}
+	if res.PerfConverged {
+		fmt.Printf("perf converged: %v\n", res.PerfConvergence.Round(10*time.Millisecond))
+	}
+	fmt.Printf("steady power:   %.1f W\n", res.SteadyPower)
+	fmt.Printf("steady perf:    %.3f units/s", res.SteadyTotal())
+	if len(res.SteadyRates) > 1 {
+		fmt.Printf("  per-app %v", fmtRates(res.SteadyRates))
+	}
+	fmt.Println()
+	fmt.Printf("energy:         %.0f J over %v\n", res.EnergyJ, dur)
+	fmt.Printf("violations:     %.1f%% of samples above cap+3%%\n", res.ViolationFrac*100)
+	fmt.Printf("final config:   %v\n", res.FinalConfig)
+	fmt.Printf("spin cycles:    %.1f%%\n", res.FinalEval.SpinFrac*100)
+	fmt.Printf("memory bw:      %.1f GB/s\n", res.FinalEval.MemBWGBs)
+	fmt.Printf("instr rate:     %.1f GIPS\n", res.FinalEval.GIPS)
+	if res.MaxTempC > 0 {
+		fmt.Printf("max junction:   %.1f C (throttled %.1f%% of run)\n",
+			res.MaxTempC, res.ThermalThrottleFrac*100)
+	}
+
+	if traceOut != "" {
+		if err := os.WriteFile(traceOut, []byte(res.PowerTrace.CSV()), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("power trace:    %s (%d samples)\n", traceOut, res.PowerTrace.Len())
+	}
+}
+
+// runCompare runs every technique (plus the Optimal oracle) on the same
+// scenario and prints a side-by-side comparison.
+func runCompare(workloads []pupil.WorkloadSpec, capW float64, dur time.Duration, seed uint64) {
+	fmt.Printf("%-14s %-10s %-12s %-10s %-8s %s\n",
+		"technique", "settling", "perf (u/s)", "power (W)", "spin%", "final config")
+	if opt, ok, err := pupil.Optimal(nil, workloads, capW); err == nil && ok {
+		fmt.Printf("%-14s %-10s %-12.2f %-10.1f %-8s %v\n",
+			"Optimal", "-", opt.Rate, opt.PowerWatts, "-", opt.Config)
+	}
+	techs := append(pupil.Techniques(), pupil.PUPiLEAS)
+	for _, tech := range techs {
+		res, err := pupil.Run(pupil.RunSpec{
+			Workloads: workloads,
+			CapWatts:  capW,
+			Technique: tech,
+			Duration:  dur,
+			Seed:      seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		settling := "never"
+		if res.Settled {
+			settling = res.Settling.Round(10 * time.Millisecond).String()
+		}
+		fmt.Printf("%-14s %-10s %-12.2f %-10.1f %-8.1f %v\n",
+			tech, settling, res.SteadyTotal(), res.SteadyPower,
+			res.FinalEval.SpinFrac*100, res.FinalConfig)
+	}
+}
+
+func fmtRates(rs []float64) []string {
+	out := make([]string, len(rs))
+	for i, r := range rs {
+		out[i] = fmt.Sprintf("%.2f", r)
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pupilsim:", err)
+	os.Exit(1)
+}

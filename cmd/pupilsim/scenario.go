@@ -1,0 +1,82 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"pupil"
+)
+
+// scenarioFile is the JSON schema accepted by -scenario: a full capped run
+// including optional mid-run workload shifts.
+//
+//	{
+//	  "cap_watts": 140,
+//	  "technique": "PUPiL",
+//	  "duration": "90s",
+//	  "seed": 1,
+//	  "workloads": [
+//	    {"benchmark": "x264", "threads": 32,
+//	     "shift": {"at": "60s", "benchmark": "kmeans"}}
+//	  ]
+//	}
+type scenarioFile struct {
+	CapWatts  float64            `json:"cap_watts"`
+	Technique string             `json:"technique"`
+	Duration  string             `json:"duration"`
+	Seed      uint64             `json:"seed"`
+	Workloads []scenarioWorkload `json:"workloads"`
+}
+
+type scenarioWorkload struct {
+	Benchmark string         `json:"benchmark"`
+	Threads   int            `json:"threads"`
+	Shift     *scenarioShift `json:"shift,omitempty"`
+}
+
+type scenarioShift struct {
+	At        string `json:"at"`
+	Benchmark string `json:"benchmark"`
+}
+
+// loadScenario parses a scenario file into a RunSpec.
+func loadScenario(path string) (pupil.RunSpec, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return pupil.RunSpec{}, err
+	}
+	var sf scenarioFile
+	if err := json.Unmarshal(raw, &sf); err != nil {
+		return pupil.RunSpec{}, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	spec := pupil.RunSpec{
+		CapWatts:  sf.CapWatts,
+		Technique: pupil.Technique(sf.Technique),
+		Seed:      sf.Seed,
+	}
+	if sf.Duration != "" {
+		d, err := time.ParseDuration(sf.Duration)
+		if err != nil {
+			return pupil.RunSpec{}, fmt.Errorf("%s: duration: %w", path, err)
+		}
+		spec.Duration = d
+	}
+	if len(sf.Workloads) == 0 {
+		return pupil.RunSpec{}, fmt.Errorf("%s: no workloads", path)
+	}
+	for _, w := range sf.Workloads {
+		ws := pupil.WorkloadSpec{Benchmark: w.Benchmark, Threads: w.Threads}
+		if w.Shift != nil {
+			at, err := time.ParseDuration(w.Shift.At)
+			if err != nil {
+				return pupil.RunSpec{}, fmt.Errorf("%s: shift time: %w", path, err)
+			}
+			ws.ShiftTo = w.Shift.Benchmark
+			ws.ShiftAt = at
+		}
+		spec.Workloads = append(spec.Workloads, ws)
+	}
+	return spec, nil
+}

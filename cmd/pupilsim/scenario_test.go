@@ -1,0 +1,71 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"pupil"
+)
+
+func write(t *testing.T, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "scenario.json")
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestLoadScenario(t *testing.T) {
+	p := write(t, `{
+		"cap_watts": 140,
+		"technique": "PUPiL",
+		"duration": "90s",
+		"seed": 3,
+		"workloads": [
+			{"benchmark": "x264", "threads": 32,
+			 "shift": {"at": "60s", "benchmark": "kmeans"}},
+			{"benchmark": "STREAM", "threads": 8}
+		]
+	}`)
+	spec, err := loadScenario(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.CapWatts != 140 || spec.Technique != pupil.PUPiL || spec.Seed != 3 {
+		t.Errorf("spec = %+v", spec)
+	}
+	if spec.Duration != 90*time.Second {
+		t.Errorf("duration = %v", spec.Duration)
+	}
+	if len(spec.Workloads) != 2 {
+		t.Fatalf("workloads = %v", spec.Workloads)
+	}
+	if spec.Workloads[0].ShiftTo != "kmeans" || spec.Workloads[0].ShiftAt != 60*time.Second {
+		t.Errorf("shift = %+v", spec.Workloads[0])
+	}
+	// The loaded spec must actually run.
+	spec.Duration = 5 * time.Second
+	if _, err := pupil.Run(spec); err != nil {
+		t.Fatalf("running loaded scenario: %v", err)
+	}
+}
+
+func TestLoadScenarioErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad json":     `{`,
+		"no workloads": `{"cap_watts": 100, "technique": "RAPL"}`,
+		"bad duration": `{"cap_watts": 100, "technique": "RAPL", "duration": "soon", "workloads": [{"benchmark": "x264"}]}`,
+		"bad shift":    `{"cap_watts": 100, "technique": "RAPL", "workloads": [{"benchmark": "x264", "shift": {"at": "later", "benchmark": "kmeans"}}]}`,
+	}
+	for name, content := range cases {
+		if _, err := loadScenario(write(t, content)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if _, err := loadScenario("/nonexistent/path.json"); err == nil {
+		t.Error("missing file accepted")
+	}
+}

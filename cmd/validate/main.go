@@ -1,0 +1,37 @@
+// Command validate runs the substrate calibration battery: the qualitative
+// properties (per-benchmark pathologies, power envelope, spin-storm
+// behaviour, resource ordering) that the reproduced results depend on. Run
+// it after changing workload profiles, the power model, or the scheduler
+// constants; a failing check means experiment output can no longer be
+// compared against the paper.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"pupil/internal/report"
+	"pupil/internal/validate"
+)
+
+func main() {
+	checks, err := validate.Substrate()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "validate:", err)
+		os.Exit(1)
+	}
+	t := report.NewTable("Substrate calibration battery", "Check", "Status", "Detail")
+	for _, c := range checks {
+		status := "ok"
+		if !c.Pass {
+			status = "FAIL"
+		}
+		t.AddRow(c.Name, status, c.Detail)
+	}
+	fmt.Println(t.String())
+	if !validate.AllPass(checks) {
+		fmt.Fprintln(os.Stderr, "validate: calibration battery FAILED")
+		os.Exit(1)
+	}
+	fmt.Println("all checks passed")
+}

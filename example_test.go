@@ -1,0 +1,69 @@
+package pupil_test
+
+import (
+	"fmt"
+	"time"
+
+	"pupil"
+)
+
+// ExampleRun demonstrates the quickstart: one application under a power
+// cap with the hybrid controller.
+func ExampleRun() {
+	res, err := pupil.Run(pupil.RunSpec{
+		Workloads: []pupil.WorkloadSpec{{Benchmark: "x264", Threads: 32}},
+		CapWatts:  140,
+		Technique: pupil.PUPiL,
+		Duration:  30 * time.Second,
+		Seed:      1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("settled:", res.Settled)
+	fmt.Println("under cap:", res.SteadyPower <= 140*1.03)
+	// Output:
+	// settled: true
+	// under cap: true
+}
+
+// ExampleOptimal shows the exhaustive oracle discovering kmeans' retrograde
+// socket scaling: its best capped configuration uses a single socket.
+func ExampleOptimal() {
+	opt, ok, err := pupil.Optimal(nil,
+		[]pupil.WorkloadSpec{{Benchmark: "kmeans", Threads: 32}}, 140)
+	if err != nil || !ok {
+		panic(err)
+	}
+	fmt.Println("sockets:", opt.Config.Sockets)
+	// Output:
+	// sockets: 1
+}
+
+// ExampleCalibrate runs Algorithm 2 and prints the resource walk order.
+func ExampleCalibrate() {
+	impacts, err := pupil.Calibrate(nil, 1)
+	if err != nil {
+		panic(err)
+	}
+	for _, im := range impacts {
+		fmt.Println(im.Resource)
+	}
+	// Output:
+	// cores
+	// sockets
+	// hyperthreads
+	// memctl
+	// dvfs
+}
+
+// ExampleMixBenchmarks lists a Table 4 mix.
+func ExampleMixBenchmarks() {
+	names, err := pupil.MixBenchmarks("mix8")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(names)
+	// Output:
+	// [kmeans dijkstra x264 STREAM]
+}

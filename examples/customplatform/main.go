@@ -1,0 +1,83 @@
+// Customplatform: the decision framework is platform-agnostic — define a
+// different server (here a quad-socket, six-core machine with a narrower
+// DVFS range), calibrate the resource order on it with Algorithm 2, and run
+// PUPiL against a workload mix. Nothing in the controllers is specific to
+// the paper's dual-socket Xeon.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"pupil"
+)
+
+func quadSocketServer() *pupil.Platform {
+	freqs := make([]float64, 10)
+	for i := range freqs {
+		freqs[i] = 1.0 + float64(i)*(2.4-1.0)/9
+	}
+	return &pupil.Platform{
+		Name:           "4x 6-core example server",
+		Sockets:        4,
+		CoresPerSocket: 6,
+		ThreadsPerCore: 2,
+		MemCtls:        4,
+		FreqsGHz:       freqs,
+		TurboGHz:       3.0,
+		SocketTDP:      95,
+
+		UncoreActive:     11.0,
+		SocketParked:     3.0,
+		CoreIdle:         0.3,
+		CoreCd:           2.4,
+		VoltBase:         0.82,
+		VoltSlope:        0.10,
+		TurboVolt:        1.02,
+		HTPowerFactor:    1.13,
+		StallPowerFactor: 0.55,
+		MemCtlIdle:       1.2,
+		MemCtlDyn:        2.0,
+		BWPerCtlGBs:      30,
+		PerCoreBWGBs:     11,
+	}
+}
+
+func main() {
+	p := quadSocketServer()
+	if err := p.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("platform: %s (%d hardware threads, %d configurations)\n\n",
+		p.Name, p.HWThreads(), p.NumConfigurations())
+
+	impacts, err := pupil.Calibrate(p, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("calibrated resource order (Algorithm 2):")
+	for i, im := range impacts {
+		fmt.Printf("  %d. %-14s speedup %.1fx, powerup %.1fx\n", i+1, im.Resource, im.Speedup, im.Powerup)
+	}
+
+	const capWatts = 150.0
+	fmt.Printf("\ncapping kmeans at %.0f W on this machine:\n", capWatts)
+	for _, tech := range []pupil.Technique{pupil.RAPL, pupil.PUPiL} {
+		res, err := pupil.Run(pupil.RunSpec{
+			Platform:  p,
+			Workloads: []pupil.WorkloadSpec{{Benchmark: "kmeans"}},
+			CapWatts:  capWatts,
+			Technique: tech,
+			Duration:  60 * time.Second,
+			Seed:      2,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-8s perf %.2f u/s at %.1f W, config %v\n",
+			tech, res.SteadyTotal(), res.SteadyPower, res.FinalConfig)
+	}
+	fmt.Println("\nPUPiL discovers on the new machine, with no reconfiguration beyond")
+	fmt.Println("calibration, that kmeans should be confined to a subset of sockets.")
+}

@@ -1,0 +1,67 @@
+// Multiapp: reproduce the paper's most dramatic finding — in the oblivious
+// multi-application scenario (every application greedily requests all 32
+// threads), hardware-only capping collapses into spin-cycle storms while
+// PUPiL's resource management restores throughput (Sections 5.4.2-5.4.3).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"pupil"
+)
+
+func main() {
+	const (
+		mixName  = "mix8" // kmeans, dijkstra, x264, STREAM — all RAPL-hostile
+		capWatts = 140.0
+	)
+	names, err := pupil.MixBenchmarks(mixName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("oblivious %s (%v) at %.0f W\n\n", mixName, names, capWatts)
+
+	type outcome struct {
+		tech pupil.Technique
+		res  pupil.Result
+	}
+	var outs []outcome
+	for _, tech := range []pupil.Technique{pupil.RAPL, pupil.PUPiL} {
+		var workloads []pupil.WorkloadSpec
+		for _, n := range names {
+			workloads = append(workloads, pupil.WorkloadSpec{Benchmark: n, Threads: 32})
+		}
+		res, err := pupil.Run(pupil.RunSpec{
+			Workloads: workloads,
+			CapWatts:  capWatts,
+			Technique: tech,
+			Duration:  60 * time.Second,
+			Seed:      7,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		outs = append(outs, outcome{tech, res})
+	}
+
+	fmt.Printf("%-8s %-10s %-10s %-8s %-10s %s\n",
+		"", "perf(u/s)", "power(W)", "spin%", "bw(GB/s)", "final config")
+	for _, o := range outs {
+		fmt.Printf("%-8s %-10.2f %-10.1f %-8.1f %-10.1f %v\n",
+			o.tech, o.res.SteadyTotal(), o.res.SteadyPower,
+			o.res.FinalEval.SpinFrac*100, o.res.FinalEval.MemBWGBs, o.res.FinalConfig)
+	}
+
+	fmt.Println("\nper-application rates (units/s):")
+	fmt.Printf("%-16s %10s %10s %8s\n", "benchmark", "RAPL", "PUPiL", "gain")
+	for i, n := range names {
+		r, p := outs[0].res.SteadyRates[i], outs[1].res.SteadyRates[i]
+		fmt.Printf("%-16s %10.2f %10.2f %7.2fx\n", n, r, p, p/r)
+	}
+
+	fmt.Println("\nThe polling applications (kmeans, dijkstra) hold cores spinning under")
+	fmt.Println("RAPL, starving everyone; PUPiL restricts the mix to one socket, the spin")
+	fmt.Println("storms vanish, and every application speeds up.")
+}

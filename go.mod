@@ -1,0 +1,3 @@
+module pupil
+
+go 1.22

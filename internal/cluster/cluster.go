@@ -1,0 +1,264 @@
+// Package cluster implements cluster-level power capping on top of the
+// node-level cappers: a coordinator owns a global power budget, assigns
+// each node a cap, observes per-node demand, and shifts budget from nodes
+// leaving headroom to nodes pegged at their caps.
+//
+// The paper positions node-level capping as the building block for exactly
+// this (Section 6 cites Raghavendra et al.'s coordinated data-center
+// management and Wang et al.'s enclosure-level control; the Soft-DVFS
+// baseline's source is titled "Power capping: a prelude to power
+// shifting"). Each node here is a full simulated machine running one of
+// this repository's node-level controllers (RAPL, PUPiL, ...), stepped in
+// lockstep epochs with the coordinator redistributing between epochs.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"pupil/internal/core"
+	"pupil/internal/driver"
+	"pupil/internal/machine"
+	"pupil/internal/workload"
+)
+
+// NodeSpec describes one machine in the cluster.
+type NodeSpec struct {
+	Name     string
+	Platform *machine.Platform
+	Specs    []workload.Spec
+	// NewController builds the node-level capper; it is invoked once.
+	NewController func(p *machine.Platform) core.Controller
+}
+
+// Policy decides the next per-node cap assignment.
+type Policy interface {
+	Name() string
+	// Rebalance returns the next assignment given each node's current
+	// assignment and its mean power over the last epoch. The returned
+	// slice must be the same length; the coordinator rescales it to the
+	// global budget and enforces floors.
+	Rebalance(assigned, meanPower []float64) []float64
+}
+
+// EvenPolicy is the static baseline: every node gets budget/N forever.
+type EvenPolicy struct{}
+
+// Name implements Policy.
+func (EvenPolicy) Name() string { return "even" }
+
+// Rebalance implements Policy.
+func (EvenPolicy) Rebalance(assigned, _ []float64) []float64 {
+	return append([]float64(nil), assigned...)
+}
+
+// DemandShiftPolicy moves budget from nodes with headroom to nodes pegged
+// at their cap, a configurable fraction per epoch.
+type DemandShiftPolicy struct {
+	// ShiftFrac is the fraction of a donor's headroom moved per epoch
+	// (default 0.5).
+	ShiftFrac float64
+	// PeggedFrac marks a node hungry when its mean power exceeds this
+	// fraction of its cap (default 0.94).
+	PeggedFrac float64
+}
+
+// Name implements Policy.
+func (DemandShiftPolicy) Name() string { return "demand-shift" }
+
+// Rebalance implements Policy.
+func (p DemandShiftPolicy) Rebalance(assigned, meanPower []float64) []float64 {
+	shift := p.ShiftFrac
+	if shift <= 0 {
+		shift = 0.5
+	}
+	pegged := p.PeggedFrac
+	if pegged <= 0 {
+		pegged = 0.94
+	}
+	next := append([]float64(nil), assigned...)
+	var hungry []int
+	for i := range next {
+		if meanPower[i] >= assigned[i]*pegged {
+			hungry = append(hungry, i)
+		}
+	}
+	if len(hungry) == 0 || len(hungry) == len(next) {
+		// Nobody to shift from or to; keep the assignment.
+		return next
+	}
+	pool := 0.0
+	for i := range next {
+		if meanPower[i] >= assigned[i]*pegged {
+			continue
+		}
+		// Donor: release part of the headroom, keeping a margin so its
+		// own transients stay covered.
+		donate := (assigned[i] - meanPower[i]) * shift
+		if donate > 0 {
+			next[i] -= donate
+			pool += donate
+		}
+	}
+	if pool <= 0 {
+		return next
+	}
+	per := pool / float64(len(hungry))
+	for _, i := range hungry {
+		next[i] += per
+	}
+	return next
+}
+
+// Config drives a cluster run.
+type Config struct {
+	Nodes       []NodeSpec
+	BudgetWatts float64
+	Epoch       time.Duration // coordinator period (default 5s)
+	Duration    time.Duration // total simulated time (default 60s)
+	Policy      Policy
+	Seed        uint64
+	// FloorWatts is the minimum cap any node may be assigned (default:
+	// an estimate that keeps the node's firmware in a reachable regime).
+	FloorWatts float64
+}
+
+// NodeResult is one node's outcome.
+type NodeResult struct {
+	Name      string
+	FinalCap  float64
+	MeanPower float64
+	MeanRate  float64
+	Result    driver.Result
+}
+
+// Result is a cluster run's outcome.
+type Result struct {
+	Policy string
+	Nodes  []NodeResult
+	// CapTrace records each node's assigned cap at every epoch boundary.
+	CapTrace [][]float64
+	// TotalRate sums the nodes' mean rates over their final epochs.
+	TotalRate float64
+	// TotalPower sums mean powers over the final epoch; it must respect
+	// the budget.
+	TotalPower float64
+}
+
+// Run executes the cluster scenario.
+func Run(cfg Config) (*Result, error) {
+	n := len(cfg.Nodes)
+	if n == 0 {
+		return nil, errors.New("cluster: no nodes")
+	}
+	if cfg.BudgetWatts <= 0 {
+		return nil, fmt.Errorf("cluster: budget %g W must be positive", cfg.BudgetWatts)
+	}
+	if cfg.Epoch <= 0 {
+		cfg.Epoch = 5 * time.Second
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 60 * time.Second
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = EvenPolicy{}
+	}
+	floor := cfg.FloorWatts
+	if floor <= 0 {
+		floor = 25
+	}
+	if cfg.BudgetWatts < floor*float64(n) {
+		return nil, fmt.Errorf("cluster: budget %.0f W cannot cover %d nodes at the %.0f W floor",
+			cfg.BudgetWatts, n, floor)
+	}
+
+	sessions := make([]*driver.Session, n)
+	assigned := make([]float64, n)
+	for i, spec := range cfg.Nodes {
+		if spec.Platform == nil || spec.NewController == nil {
+			return nil, fmt.Errorf("cluster: node %d (%s) missing platform or controller", i, spec.Name)
+		}
+		assigned[i] = cfg.BudgetWatts / float64(n)
+		s, err := driver.NewSession(driver.Scenario{
+			Platform:   spec.Platform,
+			Specs:      spec.Specs,
+			CapWatts:   assigned[i],
+			Controller: spec.NewController(spec.Platform),
+			Seed:       cfg.Seed ^ (uint64(i) * 0x9e3779b97f4a7c15),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("cluster: node %s: %w", spec.Name, err)
+		}
+		sessions[i] = s
+	}
+
+	res := &Result{Policy: cfg.Policy.Name()}
+	res.CapTrace = append(res.CapTrace, append([]float64(nil), assigned...))
+
+	for t := time.Duration(0); t < cfg.Duration; t += cfg.Epoch {
+		step := cfg.Epoch
+		if rem := cfg.Duration - t; rem < step {
+			step = rem
+		}
+		for _, s := range sessions {
+			s.Advance(step)
+		}
+		// Observe and rebalance.
+		meanPower := make([]float64, n)
+		for i, s := range sessions {
+			meanPower[i] = s.MeanPower(cfg.Epoch)
+		}
+		next := cfg.Policy.Rebalance(assigned, meanPower)
+		normalize(next, cfg.BudgetWatts, floor)
+		for i, s := range sessions {
+			if next[i] != assigned[i] {
+				if err := s.SetCap(next[i]); err != nil {
+					return nil, err
+				}
+			}
+			assigned[i] = next[i]
+		}
+		res.CapTrace = append(res.CapTrace, append([]float64(nil), assigned...))
+	}
+
+	for i, s := range sessions {
+		nr := NodeResult{
+			Name:      cfg.Nodes[i].Name,
+			FinalCap:  assigned[i],
+			MeanPower: s.MeanPower(cfg.Epoch),
+			MeanRate:  s.MeanRate(cfg.Epoch),
+			Result:    s.Result(),
+		}
+		res.Nodes = append(res.Nodes, nr)
+		res.TotalRate += nr.MeanRate
+		res.TotalPower += nr.MeanPower
+	}
+	return res, nil
+}
+
+// normalize rescales an assignment to sum to budget while respecting the
+// per-node floor.
+func normalize(caps []float64, budget, floor float64) {
+	sum := 0.0
+	for i := range caps {
+		if caps[i] < floor {
+			caps[i] = floor
+		}
+		sum += caps[i]
+	}
+	if sum <= 0 {
+		return
+	}
+	// Scale the above-floor portion so the total meets the budget
+	// exactly.
+	excess := sum - floor*float64(len(caps))
+	target := budget - floor*float64(len(caps))
+	if excess <= 0 {
+		return
+	}
+	scale := target / excess
+	for i := range caps {
+		caps[i] = floor + (caps[i]-floor)*scale
+	}
+}

@@ -1,0 +1,76 @@
+package control
+
+import (
+	"pupil/internal/machine"
+	"pupil/internal/system"
+	"pupil/internal/workload"
+)
+
+// Objective scores an evaluation; OptimalSearch maximizes it.
+type Objective func(system.Eval) float64
+
+// TotalRate is the single-application objective: aggregate work rate.
+func TotalRate(ev system.Eval) float64 { return ev.TotalRate() }
+
+// WeightedSpeedupObjective returns the multi-application objective: each
+// app's rate weighted by its isolated rate (Section 4.3.2).
+func WeightedSpeedupObjective(alone []float64) Objective {
+	return func(ev system.Eval) float64 {
+		ws := 0.0
+		for i, r := range ev.Rates {
+			if i < len(alone) && alone[i] > 0 {
+				ws += r / alone[i]
+			}
+		}
+		return ws
+	}
+}
+
+// OptimalSearch is the paper's Optimal point of comparison: run the
+// workload in every user-accessible configuration, discard those whose
+// steady-state power exceeds the cap, and return the best performer. It is
+// an oracle — it reads the ground truth directly and costs nothing — so it
+// upper-bounds every online technique.
+//
+// ok is false when no configuration respects the cap (a cap below the
+// machine's floor).
+func OptimalSearch(p *machine.Platform, apps []*workload.Instance, capWatts float64, obj Objective) (best machine.Config, bestEval system.Eval, ok bool) {
+	if obj == nil {
+		obj = TotalRate
+	}
+	bestScore := -1.0
+	machine.Enumerate(p, func(cfg machine.Config) bool {
+		ev := system.Evaluate(p, cfg, apps, 0)
+		if ev.PowerTotal > capWatts {
+			return true
+		}
+		if score := obj(ev); score > bestScore {
+			bestScore = score
+			best = cfg.Clone()
+			bestEval = ev
+			ok = true
+		}
+		return true
+	})
+	return best, bestEval, ok
+}
+
+// AloneRates returns each profile's best isolated performance on the
+// uncapped machine — the normalization weights for weighted speedup. Each
+// app is given the full machine and the oracle picks its best
+// configuration, matching "the performance it would achieve in isolation".
+func AloneRates(p *machine.Platform, profiles []workload.Profile, threads int) ([]float64, error) {
+	out := make([]float64, len(profiles))
+	for i, prof := range profiles {
+		apps, err := workload.NewInstances([]workload.Spec{{Profile: prof, Threads: threads}})
+		if err != nil {
+			return nil, err
+		}
+		_, ev, ok := OptimalSearch(p, apps, 1e9, TotalRate)
+		if !ok {
+			continue
+		}
+		out[i] = ev.TotalRate()
+	}
+	return out, nil
+}

@@ -1,0 +1,58 @@
+// Package control implements the paper's points of comparison (Section
+// 4.4): RAPL-only hardware capping, Soft-DVFS feedback control, the
+// offline Soft-Modeling regression approach, and the exhaustive Optimal
+// oracle. The decision-framework controllers (Soft-Decision, PUPiL) live in
+// package core, since they are the paper's contribution.
+package control
+
+import (
+	"time"
+
+	"pupil/internal/core"
+	"pupil/internal/machine"
+)
+
+// RAPLOnly leaves the machine in its default maximal configuration (the
+// Linux scheduler spreads threads over all cores, hyperthreads and
+// sockets) and programs the hardware capper with an even per-socket split —
+// the optimal split when no other resource is managed (Section 5.1). All
+// capping work happens in hardware; the only software action after Start is
+// re-programming the registers when the cap itself changes (power
+// shifting).
+type RAPLOnly struct {
+	lastCap float64
+}
+
+// NewRAPLOnly returns the hardware-only point of comparison.
+func NewRAPLOnly() *RAPLOnly { return &RAPLOnly{} }
+
+// Name implements core.Controller.
+func (*RAPLOnly) Name() string { return "RAPL" }
+
+// Period implements core.Controller. The period is irrelevant (Step is a
+// no-op) but must be positive for the runtime.
+func (*RAPLOnly) Period() time.Duration { return time.Second }
+
+// Start implements core.Controller.
+func (c *RAPLOnly) Start(env core.Env) {
+	env.SetConfig(machine.MaxConfig(env.Platform()))
+	c.program(env)
+}
+
+// Step implements core.Controller: hardware does everything; software only
+// re-programs the registers when the cap changes.
+func (c *RAPLOnly) Step(env core.Env) {
+	if env.CapWatts() != c.lastCap {
+		c.program(env)
+	}
+}
+
+func (c *RAPLOnly) program(env core.Env) {
+	p := env.Platform()
+	caps := make([]float64, p.Sockets)
+	for s := range caps {
+		caps[s] = env.CapWatts() / float64(p.Sockets)
+	}
+	env.SetRAPL(caps)
+	c.lastCap = env.CapWatts()
+}

@@ -1,0 +1,106 @@
+package control
+
+import (
+	"math"
+	"time"
+
+	"pupil/internal/core"
+	"pupil/internal/machine"
+)
+
+// SoftDVFS is the software DVFS-only power capper modeled on Lefurgy et
+// al.'s feedback controller (reference [31] of the paper): every control
+// period it measures power and multiplicatively retargets the p-state via
+// the cpufrequtils-style interface. It manages no other resource — all
+// cores, hyperthreads, sockets and controllers stay active — which is why
+// even its lowest p-state exceeds a 60 W cap (Table 3's missing entries),
+// and it cannot duty-cycle below the p-state ladder as hardware can.
+type SoftDVFS struct {
+	period  time.Duration
+	window  time.Duration
+	alpha   float64 // assumed P ~ f^alpha exponent for the retarget
+	maxStep int     // p-state slew limit per period
+
+	freqIdx int
+	cfg     machine.Config
+}
+
+// NewSoftDVFS returns the software DVFS baseline.
+func NewSoftDVFS() *SoftDVFS {
+	return &SoftDVFS{
+		period:  2 * time.Second,
+		window:  1800 * time.Millisecond,
+		alpha:   2.2,
+		maxStep: 1,
+	}
+}
+
+// Name implements core.Controller.
+func (c *SoftDVFS) Name() string { return "Soft-DVFS" }
+
+// Period implements core.Controller.
+func (c *SoftDVFS) Period() time.Duration { return c.period }
+
+// Start implements core.Controller: the system boots in its default
+// maximal configuration; capping converges through feedback.
+func (c *SoftDVFS) Start(env core.Env) {
+	p := env.Platform()
+	c.cfg = machine.MaxConfig(p)
+	// cpufrequtils does not request TurboBoost explicitly; start at the
+	// highest nominal p-state.
+	c.freqIdx = len(p.FreqsGHz) - 1
+	c.apply(env)
+}
+
+// Step implements core.Controller: one feedback iteration.
+func (c *SoftDVFS) Step(env core.Env) {
+	fb := env.Feedback(c.window)
+	if fb.Samples < 3 || fb.Power <= 0 {
+		return
+	}
+	p := env.Platform()
+	cap := env.CapWatts()
+
+	ratio := cap / fb.Power
+	cur := p.FreqAt(c.freqIdx)
+	want := cur * math.Pow(ratio, 1/c.alpha)
+
+	// Highest nominal p-state at or below the wanted speed; hold at the
+	// floor when even that violates (the infeasible-cap case).
+	target := 0
+	for i := 0; i < len(p.FreqsGHz); i++ {
+		if p.FreqsGHz[i] <= want {
+			target = i
+		}
+	}
+	if fb.Power < cap*0.97 && target <= c.freqIdx {
+		// Budget headroom and the model refuses to climb (static
+		// power hides the f^alpha relation): probe one step up.
+		target = c.freqIdx + 1
+	}
+	// Slew limit: software DVFS converges over several periods rather
+	// than jumping, both for stability under noisy feedback and because
+	// governors ramp.
+	if d := target - c.freqIdx; d > c.maxStep {
+		target = c.freqIdx + c.maxStep
+	} else if d < -c.maxStep {
+		target = c.freqIdx - c.maxStep
+	}
+	if target < 0 {
+		target = 0
+	}
+	if target > len(p.FreqsGHz)-1 {
+		target = len(p.FreqsGHz) - 1
+	}
+	if target != c.freqIdx {
+		c.freqIdx = target
+		c.apply(env)
+	}
+}
+
+func (c *SoftDVFS) apply(env core.Env) {
+	for s := range c.cfg.Freq {
+		c.cfg.Freq[s] = c.freqIdx
+	}
+	env.SetConfig(c.cfg.Clone())
+}

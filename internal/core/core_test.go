@@ -1,0 +1,311 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"pupil/internal/machine"
+	"pupil/internal/system"
+	"pupil/internal/workload"
+)
+
+// fakeEnv is a synchronous, noiseless environment for unit-testing the
+// decision framework: feedback comes straight from the ground-truth
+// evaluator, actuation has a flat delay, and hardware capping is emulated
+// by choosing the fastest shared operating point that keeps every socket
+// under its cap.
+type fakeEnv struct {
+	t    *testing.T
+	p    *machine.Platform
+	apps []*workload.Instance
+	cap  float64
+	now  time.Duration
+	cfg  machine.Config
+
+	raplCaps []float64
+	events   []string // coarse action log: "rapl", "config"
+}
+
+func newFakeEnv(t *testing.T, capW float64, threads int, names ...string) *fakeEnv {
+	t.Helper()
+	p := machine.E52690Server()
+	specs := make([]workload.Spec, len(names))
+	for i, n := range names {
+		prof, err := workload.ByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs[i] = workload.Spec{Profile: prof, Threads: threads}
+	}
+	apps, err := workload.NewInstances(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fakeEnv{t: t, p: p, apps: apps, cap: capW, cfg: machine.MaxConfig(p)}
+}
+
+func (e *fakeEnv) Now() time.Duration          { return e.now }
+func (e *fakeEnv) CapWatts() float64           { return e.cap }
+func (e *fakeEnv) Platform() *machine.Platform { return e.p }
+func (e *fakeEnv) Config() machine.Config      { return e.cfg.Clone() }
+func (e *fakeEnv) RAPLSupported() bool         { return true }
+
+func (e *fakeEnv) SetConfig(c machine.Config) time.Duration {
+	e.cfg = c.Normalize(e.p)
+	e.events = append(e.events, "config")
+	return e.now + 500*time.Millisecond
+}
+
+func (e *fakeEnv) SetRAPL(perSocket []float64) {
+	e.raplCaps = append([]float64(nil), perSocket...)
+	e.events = append(e.events, "rapl")
+}
+
+// effective returns the evaluation of the current configuration with the
+// emulated hardware capper applied.
+func (e *fakeEnv) effective() system.Eval {
+	cfg := e.cfg.Clone()
+	if len(e.raplCaps) == 0 {
+		return system.Evaluate(e.p, cfg, e.apps, e.now)
+	}
+	ok := func(ev system.Eval) bool {
+		for s, w := range ev.PowerSocket {
+			if s < len(e.raplCaps) && e.raplCaps[s] > 0 && w > e.raplCaps[s]*1.01 {
+				return false
+			}
+		}
+		return true
+	}
+	for f := e.p.NumFreqSettings() - 1; f >= 0; f-- {
+		for s := range cfg.Freq {
+			cfg.Freq[s] = f
+			cfg.Duty[s] = 1
+		}
+		ev := system.Evaluate(e.p, cfg, e.apps, e.now)
+		if ok(ev) {
+			return ev
+		}
+	}
+	for d := 0.9; d >= 0.05; d -= 0.05 {
+		for s := range cfg.Duty {
+			cfg.Freq[s] = 0
+			cfg.Duty[s] = d
+		}
+		ev := system.Evaluate(e.p, cfg, e.apps, e.now)
+		if ok(ev) {
+			return ev
+		}
+	}
+	return system.Evaluate(e.p, cfg, e.apps, e.now)
+}
+
+func (e *fakeEnv) Feedback(window time.Duration) Feedback {
+	ev := e.effective()
+	return Feedback{Perf: ev.TotalRate(), Power: ev.PowerTotal, Samples: 64}
+}
+
+// run steps the controller until it converges (or the deadline passes) and
+// returns the time taken.
+func run(t *testing.T, w *Walker, env *fakeEnv, deadline time.Duration) time.Duration {
+	t.Helper()
+	w.Start(env)
+	for env.now < deadline {
+		env.now += w.Period()
+		w.Step(env)
+		if w.Converged() {
+			return env.now
+		}
+	}
+	t.Fatalf("%s did not converge within %v", w.Name(), deadline)
+	return 0
+}
+
+func TestSoftDecisionConvergesUnderCap(t *testing.T) {
+	env := newFakeEnv(t, 140, 32, "x264")
+	w := NewSoftDecision(DefaultOrdered(env.p))
+	run(t, w, env, 5*time.Minute)
+	fb := env.Feedback(0)
+	if fb.Power > 140*1.02 {
+		t.Errorf("converged power %.1f W exceeds the 140 W cap", fb.Power)
+	}
+	if fb.Perf <= 0 {
+		t.Errorf("converged performance %g", fb.Perf)
+	}
+}
+
+// TestSoftDecisionDisablesHyperthreadsForX264 reproduces the motivational
+// example: the software approach recognizes hyperthreads hurt x264 and
+// leaves them off while spending the power on speed.
+func TestSoftDecisionDisablesHyperthreadsForX264(t *testing.T) {
+	env := newFakeEnv(t, 140, 32, "x264")
+	w := NewSoftDecision(DefaultOrdered(env.p))
+	run(t, w, env, 5*time.Minute)
+	if env.cfg.HT {
+		t.Errorf("Soft-Decision kept hyperthreading on for x264")
+	}
+}
+
+// TestDecisionRestrictsKmeansToOneSocket reproduces the kmeans finding:
+// both decision-framework controllers should detect that the second socket
+// reduces performance and restrict the application to one.
+func TestDecisionRestrictsKmeansToOneSocket(t *testing.T) {
+	for _, mk := range []struct {
+		name  string
+		build func(p *machine.Platform) *Walker
+	}{
+		{"Soft-Decision", func(p *machine.Platform) *Walker { return NewSoftDecision(DefaultOrdered(p)) }},
+		{"PUPiL", func(p *machine.Platform) *Walker { return NewPUPiL(DefaultOrdered(p)) }},
+	} {
+		t.Run(mk.name, func(t *testing.T) {
+			env := newFakeEnv(t, 140, 32, "kmeans")
+			w := mk.build(env.p)
+			run(t, w, env, 5*time.Minute)
+			if env.cfg.Sockets != 1 {
+				t.Errorf("%s left kmeans on %d sockets, want 1", mk.name, env.cfg.Sockets)
+			}
+		})
+	}
+}
+
+func TestPUPiLSetsHardwareCapBeforeFirstConfig(t *testing.T) {
+	env := newFakeEnv(t, 140, 32, "jacobi")
+	w := NewPUPiL(DefaultOrdered(env.p))
+	w.Start(env)
+	if len(env.events) < 2 || env.events[0] != "rapl" {
+		t.Errorf("PUPiL's first action = %v, want hardware cap programmed before any configuration", env.events)
+	}
+	total := 0.0
+	for _, c := range env.raplCaps {
+		total += c
+	}
+	if math.Abs(total-140) > 1e-6 {
+		t.Errorf("per-socket caps sum to %.1f W, want 140 W", total)
+	}
+}
+
+func TestPUPiLStaysUnderCapThroughoutWalk(t *testing.T) {
+	// Timeliness: with hardware in charge, the cap holds during the
+	// entire exploration, not just after convergence.
+	env := newFakeEnv(t, 100, 32, "vips")
+	w := NewPUPiL(DefaultOrdered(env.p))
+	w.Start(env)
+	for env.now < 3*time.Minute && !w.Converged() {
+		env.now += w.Period()
+		w.Step(env)
+		if fb := env.Feedback(0); fb.Power > 100*1.05 {
+			t.Fatalf("power %.1f W exceeded the 100 W cap at %v during the walk", fb.Power, env.now)
+		}
+	}
+	if !w.Converged() {
+		t.Fatal("PUPiL did not converge")
+	}
+}
+
+func TestPUPiLNeverTouchesDVFS(t *testing.T) {
+	env := newFakeEnv(t, 140, 32, "bodytrack")
+	w := NewPUPiL(DefaultOrdered(env.p))
+	run(t, w, env, 5*time.Minute)
+	top := env.p.NumFreqSettings() - 1
+	for s, f := range env.cfg.Freq {
+		if f != top {
+			t.Errorf("PUPiL changed socket %d speed setting to %d; DVFS belongs to hardware", s, f)
+		}
+	}
+}
+
+func TestPUPiLOutperformsNaiveCapAtSixtyWatts(t *testing.T) {
+	// At the harshest cap the walk should beat the max-config-throttled
+	// (RAPL-alone) operating point.
+	env := newFakeEnv(t, 60, 32, "dijkstra")
+	naive := newFakeEnv(t, 60, 32, "dijkstra")
+	naive.raplCaps = []float64{30, 30}
+	naivePerf := naive.Feedback(0).Perf
+
+	w := NewPUPiL(DefaultOrdered(env.p))
+	run(t, w, env, 5*time.Minute)
+	got := env.Feedback(0)
+	if got.Power > 60*1.05 {
+		t.Errorf("PUPiL power %.1f W exceeds 60 W cap", got.Power)
+	}
+	if got.Perf <= naivePerf {
+		t.Errorf("PUPiL perf %.3f should beat naive hardware capping %.3f for dijkstra at 60 W", got.Perf, naivePerf)
+	}
+}
+
+func TestWalkerRewalksOnPhaseChange(t *testing.T) {
+	env := newFakeEnv(t, 140, 32, "blackscholes")
+	w := NewSoftDecision(DefaultOrdered(env.p))
+	converged := run(t, w, env, 5*time.Minute)
+	if w.Walks() != 1 {
+		t.Fatalf("walks = %d after first convergence, want 1", w.Walks())
+	}
+	// Swap the workload for a very different one; the monitor must
+	// notice the persistent deviation and re-walk.
+	prof, _ := workload.ByName("dijkstra")
+	apps, _ := workload.NewInstances([]workload.Spec{{Profile: prof, Threads: 32}})
+	env.apps = apps
+	deadline := converged + 2*time.Minute
+	for env.now < deadline && w.Walks() == 1 {
+		env.now += w.Period()
+		w.Step(env)
+	}
+	if w.Walks() != 2 {
+		t.Errorf("walker did not re-walk after a drastic workload change")
+	}
+}
+
+func TestDistributeCapProportionalToCores(t *testing.T) {
+	p := machine.E52690Server()
+	symmetric := machine.MaxConfig(p)
+	caps := DistributeCap(p, symmetric, 140)
+	if math.Abs(caps[0]-caps[1]) > 1e-9 {
+		t.Errorf("symmetric config caps = %v, want even split", caps)
+	}
+	oneSocket := machine.Config{Cores: 8, Sockets: 1, MemCtls: 2}.Normalize(p)
+	caps = DistributeCap(p, oneSocket, 140)
+	if caps[0] <= caps[1] {
+		t.Errorf("single-socket config caps = %v, want socket 0 to receive the dynamic budget", caps)
+	}
+	sum := caps[0] + caps[1]
+	if math.Abs(sum-140) > 1e-6 {
+		t.Errorf("caps sum to %.2f, want 140", sum)
+	}
+}
+
+func TestDistributeCapBelowStatic(t *testing.T) {
+	// A cap below total static power still yields non-negative caps that
+	// sum to at most the static floor.
+	p := machine.E52690Server()
+	caps := DistributeCap(p, machine.MaxConfig(p), 10)
+	for s, c := range caps {
+		if c < 0 {
+			t.Errorf("socket %d cap %.2f negative", s, c)
+		}
+	}
+}
+
+func TestNewWalkerValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewWalker accepted empty resource list")
+		}
+	}()
+	NewWalker("bad", time.Second, WalkerOptions{})
+}
+
+func TestPUPiLPanicsWithoutRAPL(t *testing.T) {
+	env := newFakeEnv(t, 140, 32, "jacobi")
+	noRAPL := &noRAPLEnv{env}
+	w := NewPUPiL(DefaultOrdered(env.p))
+	defer func() {
+		if recover() == nil {
+			t.Error("PUPiL started on a platform without hardware capping")
+		}
+	}()
+	w.Start(noRAPL)
+}
+
+type noRAPLEnv struct{ *fakeEnv }
+
+func (e *noRAPLEnv) RAPLSupported() bool { return false }

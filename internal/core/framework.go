@@ -1,0 +1,116 @@
+// Package core contains the paper's primary contribution: the
+// observe-decide-act decision framework for maximizing performance under a
+// power cap (Algorithm 1), and the PUPiL hybrid controller that combines it
+// with hardware power capping (Section 3.3).
+//
+// A Controller sees the machine only through Env: filtered power and
+// performance feedback on the observe side, resource configuration and
+// RAPL programming on the act side. The same Walker implements both the
+// software-only Soft-Decision approach (walks all resources including DVFS
+// and enforces the cap itself with per-resource binary search) and PUPiL
+// (programs RAPL first for timeliness, walks only the non-DVFS resources,
+// and drops every power check because hardware guarantees the cap).
+package core
+
+import (
+	"time"
+
+	"pupil/internal/machine"
+)
+
+// Feedback is one filtered observation of the system: performance in
+// application units/s and power in Watts, both passed through the paper's
+// 3-sigma deviation filter. Samples reports how many raw readings the
+// window held; a controller should not act on a near-empty window.
+type Feedback struct {
+	Perf    float64
+	Power   float64
+	Samples int
+}
+
+// Env is the world as a power-capping controller sees it.
+type Env interface {
+	// Now is the current time.
+	Now() time.Duration
+	// CapWatts is the machine-wide power cap to enforce.
+	CapWatts() float64
+	// Platform describes the hardware.
+	Platform() *machine.Platform
+	// Config returns the currently requested software configuration.
+	Config() machine.Config
+	// SetConfig requests a resource configuration. Effects become
+	// observable only after per-resource actuation delays; the returned
+	// time is when the slowest changed resource will have taken effect.
+	SetConfig(machine.Config) time.Duration
+	// RAPLSupported reports whether the platform exposes hardware power
+	// capping.
+	RAPLSupported() bool
+	// SetRAPL programs per-socket hardware power caps. nil or an empty
+	// slice disables hardware capping. Sockets beyond the slice are
+	// uncapped.
+	SetRAPL(perSocket []float64)
+	// Feedback returns filtered performance/power feedback over the
+	// trailing window.
+	Feedback(window time.Duration) Feedback
+}
+
+// Controller is an observe-decide-act power capping loop, stepped
+// periodically by the runtime.
+type Controller interface {
+	// Name identifies the technique ("PUPiL", "Soft-Decision", ...).
+	Name() string
+	// Period is the controller's decision interval.
+	Period() time.Duration
+	// Start initializes the controller at t=0 (sets the initial
+	// configuration and, for hybrid controllers, programs the hardware
+	// cap immediately — timeliness).
+	Start(Env)
+	// Step runs one decision interval.
+	Step(Env)
+}
+
+// StaticPowerEstimate returns the controller-visible estimate of a
+// socket's static (non-scalable) power: what remains when DVFS is floored.
+// An in-use memory controller keeps part of the socket's uncore awake even
+// when the socket's cores are parked. PUPiL uses this to distribute the
+// dynamic budget across sockets in proportion to active cores (Section
+// 3.3.2).
+func StaticPowerEstimate(p *machine.Platform, active, memCtlInUse bool) float64 {
+	w := p.SocketParked
+	if active {
+		w = p.UncoreActive
+	}
+	if memCtlInUse {
+		w += p.MemCtlIdle
+	}
+	return w
+}
+
+// DistributeCap splits a machine-wide cap into per-socket hardware caps in
+// proportion to the active cores on each socket, after reserving each
+// socket's static power: cap_s = static_s + dynamic * cores_s / totalCores.
+// This is PUPiL's core-number-based power distribution; with symmetric
+// cores it reduces to an even split.
+func DistributeCap(p *machine.Platform, cfg machine.Config, capWatts float64) []float64 {
+	caps := make([]float64, p.Sockets)
+	staticTotal := 0.0
+	totalCores := 0
+	static := func(s int) float64 {
+		return StaticPowerEstimate(p, s < cfg.Sockets, s < cfg.MemCtls)
+	}
+	for s := 0; s < p.Sockets; s++ {
+		staticTotal += static(s)
+		totalCores += cfg.ActiveCores(s)
+	}
+	dynamic := capWatts - staticTotal
+	if dynamic < 0 {
+		dynamic = 0
+	}
+	for s := 0; s < p.Sockets; s++ {
+		caps[s] = static(s)
+		if totalCores > 0 {
+			caps[s] += dynamic * float64(cfg.ActiveCores(s)) / float64(totalCores)
+		}
+	}
+	return caps
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"time"
+
+	"pupil/internal/machine"
+	"pupil/internal/resource"
+)
+
+// NewPUPiL builds the hybrid hardware/software power capping controller of
+// Section 3.3. ordered must be the calibrated non-DVFS resource order;
+// voltage and frequency are removed from software's hands and left to the
+// hardware capper, which is programmed before the walk begins so the cap is
+// enforced with hardware timeliness. Power checks are disabled throughout
+// the walk — RAPL guarantees the cap, so software needs only to manage
+// performance — and the per-socket hardware budget follows the active core
+// count as the walk reshapes the configuration.
+func NewPUPiL(ordered []resource.Resource) *Walker {
+	nonDVFS := make([]resource.Resource, 0, len(ordered))
+	for _, r := range ordered {
+		if !resource.IsDVFS(r) {
+			nonDVFS = append(nonDVFS, r)
+		}
+	}
+	return NewWalker("PUPiL", 100*time.Millisecond, WalkerOptions{
+		Resources:     nonDVFS,
+		CheckPower:    false,
+		UseRAPL:       true,
+		MeasureWindow: 2500 * time.Millisecond,
+		// Spin storms flicker around their ignition threshold, so the
+		// phase-change detector needs more slack than the software-only
+		// walker.
+		RewalkThreshold: 0.35,
+	})
+}
+
+// NewSoftDecision builds the software-only decision framework of Section
+// 3.1: it walks every resource including DVFS (last, as the fine-grained
+// power tuner), enforces the cap itself through the power checks and
+// per-resource binary search of Algorithm 1, and therefore needs long
+// measurement windows to act only on persistent feedback. Its efficiency
+// approaches PUPiL's, but its settling time is orders of magnitude worse
+// than hardware (Fig. 4).
+func NewSoftDecision(ordered []resource.Resource) *Walker {
+	return NewWalker("Soft-Decision", 200*time.Millisecond, WalkerOptions{
+		Resources:     ordered,
+		CheckPower:    true,
+		MeasureWindow: 4 * time.Second,
+	})
+}
+
+// DefaultOrdered returns the standard resources in the order Algorithm 2
+// establishes on the reference platform (Table 2): cores, sockets,
+// hyperthreads, memory controllers, DVFS last. Callers with a different
+// platform should run resource.Order against a calibration workload
+// instead.
+func DefaultOrdered(p *machine.Platform) []resource.Resource {
+	return []resource.Resource{
+		resource.Cores(p),
+		resource.Sockets(p),
+		resource.HyperThreads(p),
+		resource.MemCtls(p),
+		resource.DVFS(p),
+	}
+}

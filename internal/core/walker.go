@@ -1,0 +1,402 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"pupil/internal/machine"
+	"pupil/internal/resource"
+)
+
+// WalkerOptions configures the decision framework.
+type WalkerOptions struct {
+	// Resources is the ordered resource list (from resource.Order); the
+	// walk tests them in this order.
+	Resources []resource.Resource
+	// CheckPower enables the software power checks of Algorithm 1: when
+	// activating a resource pushes power over the cap, binary-search its
+	// settings for the highest-performance setting under the cap. PUPiL
+	// disables this — hardware guarantees the cap (Section 3.3.2).
+	CheckPower bool
+	// UseRAPL programs the hardware capper before walking and
+	// redistributes per-socket caps in proportion to active cores
+	// whenever the core allocation changes. This is PUPiL's timeliness
+	// half (Section 3.3.1).
+	UseRAPL bool
+	// PinFreqMax keeps the software configuration's speed setting at
+	// maximum so hardware owns the voltage/frequency range. Implied by
+	// UseRAPL.
+	PinFreqMax bool
+	// MeasureWindow is how long feedback accumulates before each
+	// decision.
+	MeasureWindow time.Duration
+	// PerfEps is the relative tolerance when comparing performance
+	// feedback, absorbing residual sensor noise.
+	PerfEps float64
+	// RewalkThreshold and RewalkHold trigger a fresh walk when filtered
+	// performance deviates persistently from the converged level by more
+	// than the threshold (application phase change).
+	RewalkThreshold float64
+	RewalkHold      time.Duration
+
+	// EvenSplit (ablation) distributes the hardware cap evenly across
+	// sockets instead of in proportion to active cores, disabling the
+	// asymmetric power distribution of Section 3.3.2.
+	EvenSplit bool
+	// LinearSearch (ablation) replaces the per-resource binary search
+	// with a linear walk down from the highest setting, the naive
+	// alternative to the engineering tradeoff of Section 3.1.2.
+	LinearSearch bool
+}
+
+// walker states.
+type walkState int
+
+const (
+	wsInit      walkState = iota // minimal configuration requested, waiting
+	wsTestApply                  // next resource set to highest, waiting for effect
+	wsBinSearch                  // probing a setting during binary search
+	wsRevert                     // resource returned to lowest, waiting for effect
+	wsConverged                  // walk finished, monitoring for phase changes
+)
+
+// Walker implements Algorithm 1 as a periodic state machine: it cannot
+// block, so each Step either waits for a pending actuation/measurement
+// window or makes exactly one decision.
+type Walker struct {
+	name   string
+	period time.Duration
+	opt    WalkerOptions
+
+	state     walkState
+	resIdx    int
+	waitUntil time.Duration
+	cfg       machine.Config
+	prev      Feedback // feedback in the configuration before the current test
+
+	// Binary search bounds over the current resource's settings.
+	lo, hi, probe int
+
+	// Converged-state monitoring.
+	convergedPerf float64
+	deviantSince  time.Duration
+	haveDeviant   bool
+	walks         int
+
+	// lastCap tracks the enforced cap so a cluster-level coordinator's
+	// budget shifts are noticed (power shifting).
+	lastCap float64
+
+	// trace, when set, receives a line per decision for auditing.
+	trace func(format string, args ...any)
+}
+
+// SetTrace installs a decision audit logger (e.g. t.Logf or log.Printf);
+// nil disables tracing.
+func (w *Walker) SetTrace(f func(format string, args ...any)) { w.trace = f }
+
+func (w *Walker) tracef(format string, args ...any) {
+	if w.trace != nil {
+		w.trace(format, args...)
+	}
+}
+
+// NewWalker builds a decision-framework controller. name is the reported
+// technique name.
+func NewWalker(name string, period time.Duration, opt WalkerOptions) *Walker {
+	if len(opt.Resources) == 0 {
+		panic("core: walker with no resources")
+	}
+	if opt.MeasureWindow <= 0 {
+		opt.MeasureWindow = 2 * time.Second
+	}
+	if opt.PerfEps == 0 {
+		opt.PerfEps = 0.02
+	}
+	if opt.RewalkThreshold == 0 {
+		opt.RewalkThreshold = 0.25
+	}
+	if opt.RewalkHold == 0 {
+		opt.RewalkHold = 6 * time.Second
+	}
+	if opt.UseRAPL {
+		opt.PinFreqMax = true
+	}
+	return &Walker{name: name, period: period, opt: opt}
+}
+
+// Name implements Controller.
+func (w *Walker) Name() string { return w.name }
+
+// Period implements Controller.
+func (w *Walker) Period() time.Duration { return w.period }
+
+// Walks reports how many walks have been started (>= 1 after Start);
+// re-walks indicate detected phase changes.
+func (w *Walker) Walks() int { return w.walks }
+
+// Converged reports whether the walk has finished and the controller is in
+// its monitoring phase.
+func (w *Walker) Converged() bool { return w.state == wsConverged }
+
+// Start implements Controller: put the system in the minimal resource
+// configuration (Algorithm 1's first step) and, in hybrid mode, program the
+// hardware cap before anything else so the cap is enforced at hardware
+// speed.
+func (w *Walker) Start(env Env) {
+	w.beginWalk(env)
+}
+
+func (w *Walker) beginWalk(env Env) {
+	w.walks++
+	w.lastCap = env.CapWatts()
+	p := env.Platform()
+	cfg := machine.MinimalConfig(p)
+	if w.opt.PinFreqMax {
+		for s := range cfg.Freq {
+			cfg.Freq[s] = p.NumFreqSettings() - 1
+		}
+	}
+	w.cfg = cfg
+	if w.opt.UseRAPL {
+		if !env.RAPLSupported() {
+			panic(fmt.Sprintf("core: %s requires hardware power capping", w.name))
+		}
+		// Engage hardware capping immediately on whatever is running —
+		// the cap is enforced at hardware speed from this instant — with
+		// an even split, the optimal division for an unknown placement.
+		even := make([]float64, p.Sockets)
+		for s := range even {
+			even[s] = env.CapWatts() / float64(p.Sockets)
+		}
+		env.SetRAPL(even)
+	}
+	ready := env.SetConfig(cfg)
+	if w.opt.UseRAPL {
+		// The walk's distribution accompanies the minimal configuration.
+		env.SetRAPL(w.distribute(env))
+	}
+	w.state = wsInit
+	w.resIdx = 0
+	w.haveDeviant = false
+	w.waitUntil = ready + w.opt.MeasureWindow
+}
+
+// Step implements Controller: one decision interval of Algorithm 1.
+func (w *Walker) Step(env Env) {
+	now := env.Now()
+	if cap := env.CapWatts(); cap != w.lastCap {
+		// The budget moved under us (cluster-level power shifting).
+		// Hardware is re-programmed immediately — timeliness — and a
+		// substantial change re-opens the exploration, since the best
+		// configuration depends on the cap.
+		big := w.lastCap <= 0 || cap < w.lastCap*0.85 || cap > w.lastCap*1.15
+		w.lastCap = cap
+		if w.opt.UseRAPL {
+			env.SetRAPL(w.distribute(env))
+		}
+		if big && w.state == wsConverged {
+			w.tracef("[%v] %s: cap moved to %.0f W; re-walking", now, w.name, cap)
+			w.beginWalk(env)
+			return
+		}
+	}
+	if now < w.waitUntil {
+		return
+	}
+	switch w.state {
+	case wsInit:
+		// Minimal configuration has settled; its feedback is the
+		// baseline for the first resource test.
+		w.prev = env.Feedback(w.opt.MeasureWindow)
+		w.applyNextResource(env)
+	case wsTestApply:
+		w.decideAfterTest(env)
+	case wsBinSearch:
+		w.decideBinSearch(env)
+	case wsRevert:
+		// Reverted resource has settled; the pre-test baseline still
+		// describes the system. Move on.
+		w.resIdx++
+		w.applyNextResource(env)
+	case wsConverged:
+		w.monitor(env)
+	}
+}
+
+// applyNextResource sets the next untested resource to its highest setting,
+// or finishes the walk when none remain.
+func (w *Walker) applyNextResource(env Env) {
+	if w.resIdx >= len(w.opt.Resources) {
+		w.state = wsConverged
+		w.convergedPerf = w.prev.Perf
+		w.waitUntil = env.Now() + w.opt.MeasureWindow
+		return
+	}
+	r := w.opt.Resources[w.resIdx]
+	r.Apply(&w.cfg, r.Settings()-1)
+	w.pushConfig(env)
+	w.state = wsTestApply
+}
+
+// decideAfterTest is Algorithm 1's core comparison: did the resource help,
+// and (software-only) does power still respect the cap?
+func (w *Walker) decideAfterTest(env Env) {
+	r := w.opt.Resources[w.resIdx]
+	cur := env.Feedback(w.opt.MeasureWindow)
+	w.tracef("[%v] %s: test %s high: perf %.3f -> %.3f, power %.1f W (cap %.0f)",
+		env.Now(), w.name, r.Name(), w.prev.Perf, cur.Perf, cur.Power, env.CapWatts())
+	if cur.Perf < w.prev.Perf*(1-w.opt.PerfEps) {
+		// Performance regressed: return the resource to its lowest
+		// setting and keep the old baseline.
+		w.tracef("[%v] %s: revert %s", env.Now(), w.name, r.Name())
+		r.Apply(&w.cfg, 0)
+		w.pushConfig(env)
+		w.state = wsRevert
+		return
+	}
+	if w.opt.CheckPower && cur.Power > env.CapWatts() {
+		// Fine-tune: binary-search the settings for the highest one
+		// under the cap. The highest setting is known to violate.
+		w.lo, w.hi = 0, r.Settings()-2
+		w.startProbe(env, r)
+		return
+	}
+	// Keep the resource at its highest setting.
+	w.prev = cur
+	w.resIdx++
+	w.applyNextResource(env)
+}
+
+// distribute computes the per-socket hardware caps for the current working
+// configuration: core-proportional by default, even in the EvenSplit
+// ablation.
+func (w *Walker) distribute(env Env) []float64 {
+	p := env.Platform()
+	if w.opt.EvenSplit {
+		caps := make([]float64, p.Sockets)
+		for s := range caps {
+			caps[s] = env.CapWatts() / float64(p.Sockets)
+		}
+		return caps
+	}
+	return DistributeCap(p, w.cfg, env.CapWatts())
+}
+
+// startProbe applies the next fine-tuning probe and waits: the midpoint of
+// the remaining binary-search range, or simply the next setting down in the
+// LinearSearch ablation.
+func (w *Walker) startProbe(env Env, r resource.Resource) {
+	if w.opt.LinearSearch {
+		// Linear descent: hi is the next candidate; lo marks
+		// exhaustion.
+		if w.hi < 0 {
+			w.hi = 0
+		}
+		w.probe = w.hi
+		r.Apply(&w.cfg, w.probe)
+		w.pushConfig(env)
+		w.state = wsBinSearch
+		return
+	}
+	if w.lo >= w.hi {
+		// Search finished: adopt the highest under-cap setting (which
+		// may be the lowest setting, as Algorithm 1 notes).
+		r.Apply(&w.cfg, w.lo)
+		w.pushConfig(env)
+		w.state = wsBinSearch
+		w.probe = -1 // marks the final settle step
+		return
+	}
+	w.probe = (w.lo + w.hi + 1) / 2
+	r.Apply(&w.cfg, w.probe)
+	w.pushConfig(env)
+	w.state = wsBinSearch
+}
+
+// decideBinSearch consumes the measurement of the current probe.
+func (w *Walker) decideBinSearch(env Env) {
+	r := w.opt.Resources[w.resIdx]
+	cur := env.Feedback(w.opt.MeasureWindow)
+	if w.probe < 0 {
+		// Final setting has settled; its feedback is the new baseline.
+		w.prev = cur
+		w.resIdx++
+		w.applyNextResource(env)
+		return
+	}
+	if w.opt.LinearSearch {
+		if cur.Power <= env.CapWatts() || w.probe == 0 {
+			// First compliant setting (or the floor): adopt it.
+			w.prev = cur
+			w.resIdx++
+			w.applyNextResource(env)
+			return
+		}
+		w.hi = w.probe - 1
+		w.startProbe(env, r)
+		return
+	}
+	if cur.Power <= env.CapWatts() {
+		w.lo = w.probe
+	} else {
+		w.hi = w.probe - 1
+	}
+	w.startProbe(env, r)
+}
+
+// monitor watches converged behaviour: re-walk on persistent phase change,
+// and in software-only mode nudge the last resource down if the cap is
+// violated (hardware handles this in hybrid mode).
+func (w *Walker) monitor(env Env) {
+	fb := env.Feedback(w.opt.MeasureWindow)
+	w.waitUntil = env.Now() + w.opt.MeasureWindow/2
+
+	if w.opt.CheckPower && fb.Power > env.CapWatts()*1.02 {
+		// Persistent violation: step the fine-grained knob (last
+		// resource, DVFS by construction) down one setting.
+		r := w.opt.Resources[len(w.opt.Resources)-1]
+		if cur := r.Current(w.cfg); cur > 0 {
+			r.Apply(&w.cfg, cur-1)
+			w.pushConfig(env)
+			return
+		}
+	}
+
+	if w.convergedPerf <= 0 {
+		w.convergedPerf = fb.Perf
+		return
+	}
+	dev := (fb.Perf - w.convergedPerf) / w.convergedPerf
+	if dev < 0 {
+		dev = -dev
+	}
+	if dev > w.opt.RewalkThreshold {
+		if !w.haveDeviant {
+			w.haveDeviant = true
+			w.deviantSince = env.Now()
+		} else if env.Now()-w.deviantSince >= w.opt.RewalkHold {
+			// The workload has durably changed; find the new best
+			// configuration.
+			w.tracef("[%v] %s: perf %.3f deviates from converged %.3f; re-walking",
+				env.Now(), w.name, fb.Perf, w.convergedPerf)
+			w.beginWalk(env)
+		}
+		return
+	}
+	w.haveDeviant = false
+}
+
+// pushConfig sends the working configuration to the environment,
+// redistributes hardware caps if core counts changed (hybrid mode), and
+// arms the wait for the changed resources' actuation delay plus a
+// measurement window.
+func (w *Walker) pushConfig(env Env) {
+	ready := env.SetConfig(w.cfg.Clone())
+	if w.opt.UseRAPL {
+		// Redistribute for the new configuration; the environment ties
+		// the switch to the configuration taking effect.
+		env.SetRAPL(w.distribute(env))
+	}
+	w.waitUntil = ready + w.opt.MeasureWindow
+}

@@ -1,0 +1,252 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"pupil/internal/machine"
+	"pupil/internal/resource"
+)
+
+// scriptedEnv is a fully deterministic Env whose power and performance are
+// arbitrary functions of the configuration, for pinning down the walker's
+// exact decision mechanics (probe sequences, reverts, fine-tuning).
+type scriptedEnv struct {
+	p     *machine.Platform
+	cap   float64
+	now   time.Duration
+	cfg   machine.Config
+	perf  func(machine.Config) float64
+	power func(machine.Config) float64
+
+	configs []machine.Config // every configuration requested
+	rapl    [][]float64
+}
+
+func newScriptedEnv(capW float64, perf, power func(machine.Config) float64) *scriptedEnv {
+	p := machine.E52690Server()
+	return &scriptedEnv{p: p, cap: capW, cfg: machine.MaxConfig(p), perf: perf, power: power}
+}
+
+func (e *scriptedEnv) Now() time.Duration          { return e.now }
+func (e *scriptedEnv) CapWatts() float64           { return e.cap }
+func (e *scriptedEnv) Platform() *machine.Platform { return e.p }
+func (e *scriptedEnv) Config() machine.Config      { return e.cfg.Clone() }
+func (e *scriptedEnv) RAPLSupported() bool         { return true }
+
+func (e *scriptedEnv) SetConfig(c machine.Config) time.Duration {
+	e.cfg = c.Normalize(e.p)
+	e.configs = append(e.configs, e.cfg.Clone())
+	return e.now + 100*time.Millisecond
+}
+
+func (e *scriptedEnv) SetRAPL(caps []float64) {
+	e.rapl = append(e.rapl, append([]float64(nil), caps...))
+}
+
+func (e *scriptedEnv) Feedback(time.Duration) Feedback {
+	return Feedback{Perf: e.perf(e.cfg), Power: e.power(e.cfg), Samples: 64}
+}
+
+func (e *scriptedEnv) drive(w *Walker, d time.Duration) {
+	w.Start(e)
+	end := e.now + d
+	for e.now < end {
+		e.now += w.Period()
+		w.Step(e)
+		if w.Converged() {
+			return
+		}
+	}
+}
+
+// dvfsOnlyWalker walks just the DVFS resource, making the fine-tuning
+// sequence fully observable.
+func dvfsOnlyWalker(opt WalkerOptions) *Walker {
+	return NewWalker("scripted", 50*time.Millisecond, opt)
+}
+
+// TestBinarySearchFindsHighestCompliantSetting: performance increases with
+// the speed setting, power crosses the cap above setting k. The walk must
+// land exactly on k.
+func TestBinarySearchFindsHighestCompliantSetting(t *testing.T) {
+	p := machine.E52690Server()
+	for _, k := range []int{0, 3, 7, 14} {
+		env := newScriptedEnv(100,
+			func(c machine.Config) float64 { return float64(1 + c.Freq[0]) },
+			func(c machine.Config) float64 {
+				if c.Freq[0] > k {
+					return 150 // over the cap
+				}
+				return 50
+			})
+		w := dvfsOnlyWalker(WalkerOptions{
+			Resources:     []resource.Resource{resource.DVFS(p)},
+			CheckPower:    true,
+			MeasureWindow: 200 * time.Millisecond,
+		})
+		env.drive(w, time.Minute)
+		if !w.Converged() {
+			t.Fatalf("k=%d: walk did not converge", k)
+		}
+		if got := env.cfg.Freq[0]; got != k {
+			t.Errorf("k=%d: converged at setting %d", k, got)
+		}
+	}
+}
+
+// TestBinarySearchProbeCount: fine-tuning 16 settings must use O(log n)
+// probes, the engineering tradeoff of Section 3.1.2.
+func TestBinarySearchProbeCount(t *testing.T) {
+	p := machine.E52690Server()
+	count := func(linear bool) int {
+		env := newScriptedEnv(100,
+			func(c machine.Config) float64 { return float64(1 + c.Freq[0]) },
+			func(c machine.Config) float64 {
+				if c.Freq[0] > 2 {
+					return 150
+				}
+				return 50
+			})
+		w := dvfsOnlyWalker(WalkerOptions{
+			Resources:     []resource.Resource{resource.DVFS(p)},
+			CheckPower:    true,
+			MeasureWindow: 200 * time.Millisecond,
+			LinearSearch:  linear,
+		})
+		env.drive(w, 2*time.Minute)
+		if !w.Converged() || env.cfg.Freq[0] != 2 {
+			t.Fatalf("linear=%v: converged=%v at %d, want setting 2", linear, w.Converged(), env.cfg.Freq[0])
+		}
+		return len(env.configs)
+	}
+	binary, linear := count(false), count(true)
+	if binary >= linear {
+		t.Errorf("binary search used %d configurations, linear %d; binary must probe fewer", binary, linear)
+	}
+	// 16 settings: minimal + test-high + ~4 bisection probes + settle.
+	if binary > 9 {
+		t.Errorf("binary search used %d configurations for 16 settings, want <= 9", binary)
+	}
+}
+
+// TestWalkerRevertWaitsForMigration: after a revert the walker must not
+// measure until the reverted resource's actuation delay has passed.
+func TestWalkerRevertRestoresBaseline(t *testing.T) {
+	p := machine.E52690Server()
+	// Sockets hurt; everything else helps. Performance is scripted from
+	// the knobs directly.
+	env := newScriptedEnv(300,
+		func(c machine.Config) float64 {
+			perf := float64(c.Cores)
+			if c.Sockets > 1 {
+				perf *= 0.5
+			}
+			return perf
+		},
+		func(machine.Config) float64 { return 100 })
+	w := NewWalker("scripted", 50*time.Millisecond, WalkerOptions{
+		Resources:     []resource.Resource{resource.Cores(p), resource.Sockets(p)},
+		CheckPower:    true,
+		MeasureWindow: 200 * time.Millisecond,
+	})
+	env.drive(w, time.Minute)
+	if env.cfg.Sockets != 1 {
+		t.Errorf("sockets not reverted: %v", env.cfg)
+	}
+	if env.cfg.Cores != p.CoresPerSocket {
+		t.Errorf("cores not kept at max: %v", env.cfg)
+	}
+}
+
+// TestWalkerKeepsResourceOnTie: Algorithm 1 only reverts when performance
+// drops; a tie (within epsilon) keeps the higher setting.
+func TestWalkerKeepsResourceOnTie(t *testing.T) {
+	p := machine.E52690Server()
+	env := newScriptedEnv(300,
+		func(machine.Config) float64 { return 10 }, // flat performance
+		func(machine.Config) float64 { return 100 })
+	w := NewWalker("scripted", 50*time.Millisecond, WalkerOptions{
+		Resources:     []resource.Resource{resource.HyperThreads(p)},
+		CheckPower:    true,
+		MeasureWindow: 200 * time.Millisecond,
+	})
+	env.drive(w, time.Minute)
+	if !env.cfg.HT {
+		t.Errorf("flat-performance resource was reverted; Algorithm 1 keeps non-regressing settings")
+	}
+}
+
+// TestEvenSplitAblation: with EvenSplit the per-socket caps are equal
+// regardless of the core asymmetry.
+func TestEvenSplitAblation(t *testing.T) {
+	p := machine.E52690Server()
+	env := newScriptedEnv(120,
+		func(c machine.Config) float64 { return float64(c.TotalCores()) },
+		func(machine.Config) float64 { return 100 })
+	w := NewWalker("scripted", 50*time.Millisecond, WalkerOptions{
+		Resources:     resource.NonDVFS(p),
+		UseRAPL:       true,
+		EvenSplit:     true,
+		MeasureWindow: 200 * time.Millisecond,
+	})
+	env.drive(w, time.Minute)
+	if len(env.rapl) == 0 {
+		t.Fatal("no hardware caps programmed")
+	}
+	for _, caps := range env.rapl {
+		if len(caps) != 2 || caps[0] != caps[1] {
+			t.Fatalf("EvenSplit produced asymmetric caps %v", caps)
+		}
+	}
+}
+
+// TestProportionalDistributionFollowsCores: the default distribution gives
+// a single-socket configuration nearly the whole dynamic budget.
+func TestProportionalDistributionFollowsCores(t *testing.T) {
+	p := machine.E52690Server()
+	env := newScriptedEnv(120,
+		func(c machine.Config) float64 {
+			if c.Sockets > 1 {
+				return 1 // second socket is terrible
+			}
+			return float64(c.TotalCores())
+		},
+		func(machine.Config) float64 { return 100 })
+	w := NewWalker("scripted", 50*time.Millisecond, WalkerOptions{
+		Resources:     resource.NonDVFS(p),
+		UseRAPL:       true,
+		MeasureWindow: 200 * time.Millisecond,
+	})
+	env.drive(w, time.Minute)
+	last := env.rapl[len(env.rapl)-1]
+	if env.cfg.Sockets != 1 {
+		t.Fatalf("walk kept %d sockets", env.cfg.Sockets)
+	}
+	if last[0] <= 3*last[1] {
+		t.Errorf("single-socket distribution %v should concentrate the budget on socket 0", last)
+	}
+}
+
+// TestWalkerPinsFreqWithRAPL: in hybrid mode the software configuration's
+// speed setting must stay at maximum throughout.
+func TestWalkerPinsFreqWithRAPL(t *testing.T) {
+	p := machine.E52690Server()
+	env := newScriptedEnv(120,
+		func(c machine.Config) float64 { return float64(c.TotalCores()) },
+		func(machine.Config) float64 { return 100 })
+	w := NewWalker("scripted", 50*time.Millisecond, WalkerOptions{
+		Resources:     resource.NonDVFS(p),
+		UseRAPL:       true,
+		MeasureWindow: 200 * time.Millisecond,
+	})
+	env.drive(w, time.Minute)
+	top := p.NumFreqSettings() - 1
+	for _, c := range env.configs {
+		for s, f := range c.Freq {
+			if f != top {
+				t.Fatalf("hybrid walk requested socket %d at speed %d; DVFS belongs to hardware", s, f)
+			}
+		}
+	}
+}

@@ -1,0 +1,194 @@
+// Package driver wires the substrates into runnable power-capping
+// scenarios: it builds the simulated machine, launches the workload,
+// attaches telemetry and the per-socket RAPL firmware, steps the controller
+// through simulated time, and reports traces and steady-state metrics.
+//
+// This is the reproduction's equivalent of the paper's test harness: the
+// scripts that launch a benchmark under a power cap, record power and
+// performance over time, and compute settling time and steady-state
+// efficiency.
+package driver
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"pupil/internal/core"
+	"pupil/internal/machine"
+	"pupil/internal/metrics"
+	"pupil/internal/sim"
+	"pupil/internal/system"
+	"pupil/internal/telemetry"
+	"pupil/internal/workload"
+)
+
+// Sampling and evaluation cadence of the harness.
+const (
+	sensorPeriod = 10 * time.Millisecond
+	evalPeriod   = 10 * time.Millisecond
+	// steadyTail is the fraction of the run used for steady-state
+	// averages.
+	steadyTail = 0.15
+)
+
+// Scenario describes one capped run.
+type Scenario struct {
+	Platform   *machine.Platform
+	Specs      []workload.Spec
+	CapWatts   float64
+	Controller core.Controller
+	Duration   time.Duration
+	Seed       uint64
+	// PerfWeights normalizes each app's contribution to the aggregate
+	// performance feedback (typically isolated rates, making the signal
+	// a weighted speedup). Empty means unweighted sum.
+	PerfWeights []float64
+	// NoNoise disables sensor noise, for deterministic unit tests.
+	NoNoise bool
+	// RawFeedback (ablation) bypasses the 3-sigma deviation filter of
+	// Section 3.1.1 and hands controllers plain window means.
+	RawFeedback bool
+	// PerfNoise overrides the performance sensor's noise model when
+	// non-nil (used by the filter ablation to inject heavier outliers).
+	PerfNoise *telemetry.NoiseSpec
+	// NoRAPL marks the platform as lacking hardware capping support.
+	NoRAPL bool
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	// PowerTrace and PerfTrace are the measured (noisy) sensor traces.
+	PowerTrace *sim.Series
+	PerfTrace  *sim.Series
+	// TruePower is the ground-truth power trace used for settling-time
+	// detection (the paper filters measurement noise before analysis).
+	TruePower *sim.Series
+
+	// Settling is the time to stably enforce the cap (Equation 5);
+	// Settled is false when the run never stabilized under the cap.
+	Settling time.Duration
+	Settled  bool
+	// PerfConvergence is when delivered performance stabilized at its
+	// converged level — the efficiency half of the timeliness/efficiency
+	// tradeoff (software explores for tens of seconds after the cap is
+	// already enforced).
+	PerfConvergence time.Duration
+	PerfConverged   bool
+
+	// SteadyRates and SteadyPower average the tail of the run.
+	SteadyRates []float64
+	SteadyPower float64
+	// FinalEval is a ground-truth snapshot at the end of the run (spin
+	// cycles, bandwidth, GIPS — the VTune-style counters of Table 6).
+	FinalEval system.Eval
+	// EnergyJ is total energy over the run.
+	EnergyJ float64
+	// ViolationFrac is the fraction of true-power samples above
+	// cap*1.03 after the first second (Soft-Modeling's failure mode).
+	ViolationFrac float64
+	// FinalConfig is the software configuration at the end of the run.
+	FinalConfig machine.Config
+	// ConfigLog records every software configuration as it took effect,
+	// for inspecting a controller's decision sequence.
+	ConfigLog []ConfigEvent
+	// OpLog records firmware operating-point changes (coalesced).
+	OpLog []OpEvent
+	// SpinTrace and BWTrace are ground-truth counter traces (spin-cycle
+	// fraction and achieved memory bandwidth over time) — the VTune-style
+	// observability behind Table 6.
+	SpinTrace *sim.Series
+	BWTrace   *sim.Series
+	// MaxTempC and ThermalThrottleFrac report the package thermal model:
+	// the hottest junction temperature seen and the fraction of the run
+	// spent thermally throttled (zero on platforms without the model).
+	MaxTempC            float64
+	ThermalThrottleFrac float64
+}
+
+// SteadyTotal sums the steady per-app rates.
+func (r Result) SteadyTotal() float64 {
+	t := 0.0
+	for _, v := range r.SteadyRates {
+		t += v
+	}
+	return t
+}
+
+// WeightedSpeedup computes the steady weighted speedup against isolated
+// rates.
+func (r Result) WeightedSpeedup(alone []float64) float64 {
+	return metrics.WeightedSpeedup(r.SteadyRates, alone)
+}
+
+// Efficiency returns steady performance (weighted if alone is non-nil) per
+// Watt.
+func (r Result) Efficiency(alone []float64) float64 {
+	perf := r.SteadyTotal()
+	if alone != nil {
+		perf = r.WeightedSpeedup(alone)
+	}
+	return metrics.Efficiency(perf, r.SteadyPower)
+}
+
+// Run executes the scenario and returns its result.
+func Run(s Scenario) (Result, error) {
+	if s.Platform == nil {
+		return Result{}, errors.New("driver: scenario has no platform")
+	}
+	if err := s.Platform.Validate(); err != nil {
+		return Result{}, err
+	}
+	if s.CapWatts <= 0 {
+		return Result{}, fmt.Errorf("driver: cap %g W must be positive", s.CapWatts)
+	}
+	if s.Controller == nil {
+		return Result{}, errors.New("driver: scenario has no controller")
+	}
+	if s.Duration <= 0 {
+		s.Duration = 60 * time.Second
+	}
+	apps, err := workload.NewInstances(s.Specs)
+	if err != nil {
+		return Result{}, err
+	}
+	if len(apps) == 0 {
+		return Result{}, errors.New("driver: scenario has no applications")
+	}
+	if len(s.PerfWeights) != 0 && len(s.PerfWeights) != len(apps) {
+		return Result{}, fmt.Errorf("driver: %d perf weights for %d apps", len(s.PerfWeights), len(apps))
+	}
+
+	rng := sim.NewRNG(s.Seed)
+	w := newWorld(s, apps, rng)
+	runner := sim.NewRunner(w)
+	w.clock = runner.Clock
+
+	// Sensors observe before firmware and controller act (registration
+	// order is tick order).
+	runner.Register(w.powerSensor)
+	runner.Register(w.perfSensor)
+	for _, s := range w.appSensors {
+		runner.Register(s)
+	}
+	for _, fw := range w.firmwares {
+		runner.Register(fw)
+	}
+	runner.Register(&controllerTicker{w: w, c: s.Controller})
+
+	// Initial physics so the controller's Start observes a live system.
+	w.refresh(0)
+	s.Controller.Start(w)
+	runner.Run(s.Duration)
+
+	return w.result(s), nil
+}
+
+// controllerTicker adapts a core.Controller to the simulation kernel.
+type controllerTicker struct {
+	w *world
+	c core.Controller
+}
+
+func (t *controllerTicker) Period() time.Duration  { return t.c.Period() }
+func (t *controllerTicker) Tick(now time.Duration) { t.c.Step(t.w) }

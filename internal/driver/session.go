@@ -1,0 +1,134 @@
+package driver
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"pupil/internal/sim"
+	"pupil/internal/workload"
+)
+
+// Session is a resumable run: where Run executes a scenario to completion,
+// a Session advances simulated time in increments and allows the node's
+// power cap to change between increments — the primitive a cluster-level
+// coordinator needs to shift budget between machines ("power capping: a
+// prelude to power shifting").
+type Session struct {
+	scenario Scenario
+	w        *world
+	runner   *sim.Runner
+	started  bool
+}
+
+// NewSession validates the scenario and builds the simulated node without
+// advancing time. The scenario's Duration is ignored; callers advance
+// explicitly.
+func NewSession(s Scenario) (*Session, error) {
+	if s.Platform == nil {
+		return nil, errors.New("driver: session has no platform")
+	}
+	if err := s.Platform.Validate(); err != nil {
+		return nil, err
+	}
+	if s.CapWatts <= 0 {
+		return nil, fmt.Errorf("driver: cap %g W must be positive", s.CapWatts)
+	}
+	if s.Controller == nil {
+		return nil, errors.New("driver: session has no controller")
+	}
+	apps, err := workload.NewInstances(s.Specs)
+	if err != nil {
+		return nil, err
+	}
+	if len(apps) == 0 {
+		return nil, errors.New("driver: session has no applications")
+	}
+
+	rng := sim.NewRNG(s.Seed)
+	w := newWorld(s, apps, rng)
+	runner := sim.NewRunner(w)
+	w.clock = runner.Clock
+	runner.Register(w.powerSensor)
+	runner.Register(w.perfSensor)
+	for _, sns := range w.appSensors {
+		runner.Register(sns)
+	}
+	for _, fw := range w.firmwares {
+		runner.Register(fw)
+	}
+	runner.Register(&controllerTicker{w: w, c: s.Controller})
+	return &Session{scenario: s, w: w, runner: runner}, nil
+}
+
+// Now returns the session's simulated time.
+func (s *Session) Now() time.Duration { return s.runner.Clock.Now() }
+
+// Cap returns the node's current power cap.
+func (s *Session) Cap() float64 { return s.w.capW }
+
+// SetCap changes the node's power cap. The controller observes the new
+// value through its environment on its next decision interval (controllers
+// re-program hardware and, for large changes, re-explore).
+func (s *Session) SetCap(watts float64) error {
+	if watts <= 0 {
+		return fmt.Errorf("driver: cap %g W must be positive", watts)
+	}
+	s.w.capW = watts
+	return nil
+}
+
+// Advance runs the node for d of simulated time.
+func (s *Session) Advance(d time.Duration) {
+	if !s.started {
+		s.w.refresh(0)
+		s.scenario.Controller.Start(s.w)
+		s.started = true
+	}
+	s.runner.Run(d)
+}
+
+// Power returns the node's current true power draw.
+func (s *Session) Power() float64 {
+	if s.w.evalStale {
+		s.w.refresh(s.Now())
+	}
+	return s.w.eval.PowerTotal
+}
+
+// Rates returns the node's current per-application work rates.
+func (s *Session) Rates() []float64 {
+	if s.w.evalStale {
+		s.w.refresh(s.Now())
+	}
+	return append([]float64(nil), s.w.eval.Rates...)
+}
+
+// MeanPower returns the node's mean true power over the trailing window.
+func (s *Session) MeanPower(window time.Duration) float64 {
+	from := s.Now() - window
+	if from < 0 {
+		from = 0
+	}
+	return s.w.truePower.MeanBetween(from, s.Now()+1)
+}
+
+// MeanRate returns the node's mean aggregate rate over the trailing window.
+func (s *Session) MeanRate(window time.Duration) float64 {
+	from := s.Now() - window
+	if from < 0 {
+		from = 0
+	}
+	total := 0.0
+	for _, tr := range s.w.rateTrace {
+		total += tr.MeanBetween(from, s.Now()+1)
+	}
+	return total
+}
+
+// Result assembles metrics over everything simulated so far, as Run would.
+func (s *Session) Result() Result {
+	sc := s.scenario
+	sc.Duration = s.Now()
+	return s.w.result(sc)
+}

@@ -1,0 +1,51 @@
+package driver
+
+import (
+	"encoding/json"
+	"time"
+)
+
+// Summary is the JSON-exportable condensation of a run, for external
+// tooling and scripting around pupilsim.
+type Summary struct {
+	CapWatts      float64   `json:"cap_watts"`
+	Technique     string    `json:"technique"`
+	DurationSec   float64   `json:"duration_sec"`
+	Settled       bool      `json:"settled"`
+	SettlingMs    float64   `json:"settling_ms"`
+	SteadyPowerW  float64   `json:"steady_power_w"`
+	SteadyRates   []float64 `json:"steady_rates"`
+	SteadyTotal   float64   `json:"steady_total"`
+	EnergyJ       float64   `json:"energy_j"`
+	ViolationFrac float64   `json:"violation_frac"`
+	FinalConfig   string    `json:"final_config"`
+	SpinFrac      float64   `json:"spin_frac"`
+	MemBWGBs      float64   `json:"mem_bw_gbs"`
+	GIPS          float64   `json:"gips"`
+}
+
+// Summarize condenses a result for export. technique and capWatts echo the
+// scenario (the result itself does not carry them).
+func (r Result) Summarize(technique string, capWatts float64, duration time.Duration) Summary {
+	return Summary{
+		CapWatts:      capWatts,
+		Technique:     technique,
+		DurationSec:   duration.Seconds(),
+		Settled:       r.Settled,
+		SettlingMs:    float64(r.Settling) / float64(time.Millisecond),
+		SteadyPowerW:  r.SteadyPower,
+		SteadyRates:   append([]float64(nil), r.SteadyRates...),
+		SteadyTotal:   r.SteadyTotal(),
+		EnergyJ:       r.EnergyJ,
+		ViolationFrac: r.ViolationFrac,
+		FinalConfig:   r.FinalConfig.String(),
+		SpinFrac:      r.FinalEval.SpinFrac,
+		MemBWGBs:      r.FinalEval.MemBWGBs,
+		GIPS:          r.FinalEval.GIPS,
+	}
+}
+
+// JSON renders the summary as indented JSON.
+func (s Summary) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}

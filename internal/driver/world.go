@@ -1,0 +1,597 @@
+package driver
+
+import (
+	"time"
+
+	"pupil/internal/core"
+	"pupil/internal/heartbeat"
+	"pupil/internal/machine"
+	"pupil/internal/metrics"
+	"pupil/internal/rapl"
+	"pupil/internal/sim"
+	"pupil/internal/system"
+	"pupil/internal/telemetry"
+	"pupil/internal/workload"
+)
+
+// world is the simulated machine with its workload: it implements
+// sim.World (physics integration), core.Env (the controller's view) and
+// rapl.Actuator (the firmware's view).
+type world struct {
+	plat   *machine.Platform
+	apps   []*workload.Instance
+	capW   float64
+	clock  *sim.Clock
+	noRAPL bool
+
+	// softCfg is what the controller last requested; active is what the
+	// hardware currently runs (software config merged with the
+	// firmware-owned per-socket operating points).
+	softCfg machine.Config
+	active  machine.Config
+	hwOwned bool
+	pending []pendingCfg
+
+	firmwares []*rapl.Firmware
+
+	eval      system.Eval
+	evalStale bool
+	lastEval  time.Duration
+	energyJ   float64
+
+	// Thermal state (when the platform models it): per-socket junction
+	// temperature and whether the package protection is throttling.
+	tempC         []float64
+	throttling    []bool
+	maxTempC      float64
+	throttleTicks int
+	totalTicks    int
+
+	powerSensor *telemetry.Sensor
+	perfSensor  *telemetry.Sensor
+	appSensors  []*telemetry.Sensor
+	heartbeats  []*heartbeat.Monitor
+	perfWeights []float64
+
+	pendingAff  []pendingAffinity
+	pendingCaps []pendingCap
+
+	truePower   *sim.Series
+	rateTrace   []*sim.Series // per-app true rates
+	spinTrace   *sim.Series
+	bwTrace     *sim.Series
+	rawFeedback bool
+
+	configLog []ConfigEvent
+	opLog     []OpEvent
+}
+
+// OpEvent records a firmware operating-point change.
+type OpEvent struct {
+	T       time.Duration
+	Socket  int
+	FreqIdx int
+	Duty    float64
+}
+
+// ConfigEvent records one software configuration taking effect.
+type ConfigEvent struct {
+	T   time.Duration
+	Cfg machine.Config
+}
+
+type pendingCfg struct {
+	at  time.Duration
+	cfg machine.Config
+}
+
+type pendingAffinity struct {
+	at     time.Duration
+	limits []int
+}
+
+type pendingCap struct {
+	at    time.Duration
+	watts []float64
+}
+
+func newWorld(s Scenario, apps []*workload.Instance, rng *sim.RNG) *world {
+	w := &world{
+		plat:        s.Platform,
+		apps:        apps,
+		capW:        s.CapWatts,
+		noRAPL:      s.NoRAPL,
+		softCfg:     machine.MaxConfig(s.Platform),
+		active:      machine.MaxConfig(s.Platform),
+		perfWeights: s.PerfWeights,
+		truePower:   sim.NewSeries("true_power_w"),
+		spinTrace:   sim.NewSeries("spin_frac"),
+		bwTrace:     sim.NewSeries("mem_bw_gbs"),
+		rawFeedback: s.RawFeedback,
+	}
+	for i := range apps {
+		w.rateTrace = append(w.rateTrace, sim.NewSeries(apps[i].Profile.Name))
+		// Applications report progress through the heartbeat interface
+		// (Section 3.1.1); retain ~40 s of 10 ms reports.
+		w.heartbeats = append(w.heartbeats, heartbeat.NewMonitor(apps[i].Profile.Name, 4096))
+	}
+
+	powerNoise, perfNoise := telemetry.DefaultPowerNoise(), telemetry.DefaultPerfNoise()
+	if s.PerfNoise != nil {
+		perfNoise = *s.PerfNoise
+	}
+	if s.NoNoise {
+		powerNoise, perfNoise = telemetry.NoiseSpec{}, telemetry.NoiseSpec{}
+	}
+	// Windows must hold the largest measurement window a controller may
+	// request (Soft-Decision uses 4 s at a 10 ms sampling period).
+	const windowLen = 1024
+	w.powerSensor = telemetry.NewSensor("power", func() float64 { return w.eval.PowerTotal },
+		sensorPeriod, windowLen, powerNoise, rng.Fork("power-sensor"))
+	w.powerSensor.Record(sim.NewSeries("power_w"))
+	w.perfSensor = telemetry.NewSensor("perf", w.perfSignal,
+		sensorPeriod, windowLen, perfNoise, rng.Fork("perf-sensor"))
+	w.perfSensor.Record(sim.NewSeries("perf"))
+	for i := range apps {
+		idx := i
+		w.appSensors = append(w.appSensors, telemetry.NewSensor(
+			"perf-"+apps[i].Profile.Name,
+			func() float64 { return w.appSignal(idx) },
+			sensorPeriod, windowLen, perfNoise,
+			rng.Fork("app-sensor-"+apps[i].Profile.Name+string(rune('0'+i)))))
+	}
+
+	if !s.NoRAPL {
+		for sock := 0; sock < s.Platform.Sockets; sock++ {
+			w.firmwares = append(w.firmwares, rapl.NewFirmware(
+				s.Platform, sock, w, rapl.DefaultConfig(),
+				rng.Fork("rapl"+string(rune('0'+sock)))))
+		}
+	}
+	if th := s.Platform.Thermal; th != nil {
+		w.tempC = make([]float64, s.Platform.Sockets)
+		w.throttling = make([]bool, s.Platform.Sockets)
+		for i := range w.tempC {
+			w.tempC[i] = th.AmbientC
+		}
+		w.maxTempC = th.AmbientC
+	}
+	return w
+}
+
+// appSignal is one application's heartbeat rate over the last reporting
+// interval, normalized by its isolated rate when weights are configured.
+func (w *world) appSignal(i int) float64 {
+	if i >= len(w.heartbeats) {
+		return 0
+	}
+	now := w.now()
+	r := w.heartbeats[i].Rate(now-sensorPeriod, now)
+	if len(w.perfWeights) == len(w.heartbeats) && w.perfWeights[i] > 0 {
+		r /= w.perfWeights[i]
+	}
+	return r
+}
+
+// perfSignal is the aggregate heartbeat rate: each app's heartbeat rate,
+// optionally normalized by its isolated rate.
+func (w *world) perfSignal() float64 {
+	sum := 0.0
+	for i := range w.heartbeats {
+		sum += w.appSignal(i)
+	}
+	return sum
+}
+
+// refresh recomputes ground truth at time now, applying the package
+// thermal protection's clock modulation on top of the active configuration.
+func (w *world) refresh(now time.Duration) {
+	cfg := w.active
+	if th := w.plat.Thermal; th != nil {
+		hot := false
+		for _, t := range w.throttling {
+			hot = hot || t
+		}
+		if hot {
+			cfg = w.active.Clone()
+			for s := range cfg.Duty {
+				if w.throttling[s] {
+					cfg.Duty[s] *= th.ThrottleDuty
+				}
+			}
+		}
+	}
+	w.eval = system.Evaluate(w.plat, cfg, w.apps, now)
+	w.evalStale = false
+	w.lastEval = now
+}
+
+// stepThermal integrates the per-socket RC junction model and drives the
+// throttle hysteresis.
+func (w *world) stepThermal(dt time.Duration) {
+	th := w.plat.Thermal
+	if th == nil {
+		return
+	}
+	w.totalTicks++
+	dtS := dt.Seconds()
+	throttlingNow := false
+	for s := range w.tempC {
+		p := 0.0
+		if s < len(w.eval.PowerSocket) {
+			p = w.eval.PowerSocket[s]
+		}
+		// dT/dt = (P - (T - Tamb)/Rth) / Cth
+		w.tempC[s] += dtS * (p - (w.tempC[s]-th.AmbientC)/th.RthCPerW) / th.CthJPerC
+		if w.tempC[s] > w.maxTempC {
+			w.maxTempC = w.tempC[s]
+		}
+		if w.tempC[s] >= th.TjMaxC {
+			if !w.throttling[s] {
+				w.throttling[s] = true
+				w.evalStale = true
+			}
+		} else if w.throttling[s] && w.tempC[s] < th.TjMaxC-th.HysteresisC {
+			w.throttling[s] = false
+			w.evalStale = true
+		}
+		throttlingNow = throttlingNow || w.throttling[s]
+	}
+	if throttlingNow {
+		w.throttleTicks++
+	}
+}
+
+// Step implements sim.World.
+func (w *world) Step(now, dt time.Duration) {
+	// Apply software configurations whose actuation delay has elapsed.
+	for len(w.pending) > 0 && w.pending[0].at <= now {
+		w.adopt(w.pending[0].cfg)
+		w.pending = w.pending[1:]
+	}
+	for len(w.pendingCaps) > 0 && w.pendingCaps[0].at <= now {
+		pc := w.pendingCaps[0]
+		w.pendingCaps = w.pendingCaps[1:]
+		w.applyCaps(now, pc.watts)
+	}
+	for len(w.pendingAff) > 0 && w.pendingAff[0].at <= now {
+		limits := w.pendingAff[0].limits
+		for i, a := range w.apps {
+			if i < len(limits) {
+				a.AffinityCores = limits[i]
+			}
+		}
+		w.pendingAff = w.pendingAff[1:]
+		w.evalStale = true
+	}
+	for _, a := range w.apps {
+		if a.MaybeShift(now) {
+			w.evalStale = true
+		}
+	}
+	if w.evalStale || now-w.lastEval >= evalPeriod {
+		w.refresh(now)
+	}
+	for i, a := range w.apps {
+		a.Advance(w.eval.Rates[i], dt)
+	}
+	w.energyJ += w.eval.PowerTotal * dt.Seconds()
+	w.stepThermal(dt)
+	if now%sensorPeriod == 0 {
+		// Each application emits a heartbeat covering the progress it
+		// made since the last report.
+		for i, hb := range w.heartbeats {
+			n := w.apps[i].Progress - hb.Total()
+			if n < 0 {
+				n = 0
+			}
+			_ = hb.Beat(now, n)
+		}
+		w.truePower.Add(now, w.eval.PowerTotal)
+		w.spinTrace.Add(now, w.eval.SpinFrac)
+		w.bwTrace.Add(now, w.eval.MemBWGBs)
+		for i := range w.apps {
+			w.rateTrace[i].Add(now, w.eval.Rates[i])
+		}
+	}
+}
+
+// adopt makes cfg the active software configuration, preserving the
+// firmware-owned per-socket operating points when hardware capping is
+// engaged.
+func (w *world) adopt(cfg machine.Config) {
+	next := cfg.Normalize(w.plat)
+	if w.hwOwned {
+		for s, fw := range w.firmwares {
+			if fw.Cap() > 0 {
+				fi, duty := fw.OperatingPoint()
+				next.Freq[s] = fi
+				next.Duty[s] = duty
+			}
+		}
+	}
+	w.active = next
+	w.evalStale = true
+	w.configLog = append(w.configLog, ConfigEvent{T: w.now(), Cfg: cfg.Clone()})
+}
+
+// --- core.Env ---
+
+// Now implements core.Env.
+func (w *world) Now() time.Duration { return w.clock.Now() }
+
+// CapWatts implements core.Env.
+func (w *world) CapWatts() float64 { return w.capW }
+
+// Platform implements core.Env.
+func (w *world) Platform() *machine.Platform { return w.plat }
+
+// Config implements core.Env.
+func (w *world) Config() machine.Config { return w.softCfg.Clone() }
+
+// RAPLSupported implements core.Env.
+func (w *world) RAPLSupported() bool { return !w.noRAPL }
+
+// SetConfig implements core.Env: the new configuration takes effect after
+// the slowest changed resource's actuation delay (thread migration, NUMA
+// page migration, p-state write).
+func (w *world) SetConfig(cfg machine.Config) time.Duration {
+	cfg = cfg.Normalize(w.plat)
+	delay := w.actuationDelay(w.softCfg, cfg)
+	w.softCfg = cfg
+	at := w.now() + delay
+	// Pending changes apply in request order; a request is never
+	// reordered before an earlier one.
+	if n := len(w.pending); n > 0 && at < w.pending[n-1].at {
+		at = w.pending[n-1].at
+	}
+	w.pending = append(w.pending, pendingCfg{at: at, cfg: cfg})
+	return at
+}
+
+func (w *world) now() time.Duration {
+	if w.clock == nil {
+		return 0
+	}
+	return w.clock.Now()
+}
+
+// actuationDelay maps a configuration change to its observable-effect
+// latency.
+func (w *world) actuationDelay(old, next machine.Config) time.Duration {
+	d := time.Duration(0)
+	bump := func(v time.Duration) {
+		if v > d {
+			d = v
+		}
+	}
+	if old.Cores != next.Cores || old.Sockets != next.Sockets || old.HT != next.HT {
+		bump(500 * time.Millisecond) // taskset-style thread migration
+	}
+	if old.MemCtls != next.MemCtls {
+		bump(2 * time.Second) // numactl policy change + page migration
+	}
+	for s := range next.Freq {
+		if s < len(old.Freq) && old.Freq[s] != next.Freq[s] {
+			bump(10 * time.Millisecond) // cpufrequtils p-state write
+		}
+	}
+	return d
+}
+
+// SetRAPL implements core.Env: program (or disable) the per-socket
+// hardware caps. Any distribution a controller sends sums to the machine
+// cap, so switching the whole vector atomically keeps the total enforced at
+// all times. A redistribution that accompanies a configuration change is
+// deferred until that configuration lands: applying it early would give a
+// socket a share its current load cannot reach (idle sockets given the
+// budget early open their throttle and burst when threads arrive; loaded
+// sockets capped below their floor push the total above the cap). The
+// first engagement applies immediately — timeliness — as does any call with
+// no configuration change in flight.
+func (w *world) SetRAPL(perSocket []float64) {
+	if w.noRAPL {
+		return
+	}
+	now := w.now()
+	if len(perSocket) == 0 {
+		for _, fw := range w.firmwares {
+			fw.SetCap(now, 0)
+		}
+		w.pendingCaps = nil
+		w.hwOwned = false
+		return
+	}
+	engaged := false
+	for _, fw := range w.firmwares {
+		if fw.Cap() > 0 {
+			engaged = true
+		}
+	}
+	w.hwOwned = true
+	at := now
+	if engaged && len(w.pending) > 0 {
+		at = w.pending[len(w.pending)-1].at
+	}
+	// A newer distribution supersedes any deferred one.
+	w.pendingCaps = nil
+	if at <= now {
+		w.applyCaps(now, perSocket)
+		return
+	}
+	w.pendingCaps = append(w.pendingCaps, pendingCap{at: at, watts: append([]float64(nil), perSocket...)})
+}
+
+// applyCaps programs every firmware from the distribution vector.
+func (w *world) applyCaps(now time.Duration, perSocket []float64) {
+	for s, fw := range w.firmwares {
+		c := 0.0
+		if s < len(perSocket) {
+			c = perSocket[s]
+		}
+		fw.SetCap(now, c)
+	}
+}
+
+// Feedback implements core.Env: 3-sigma-filtered means over the trailing
+// window.
+func (w *world) Feedback(window time.Duration) core.Feedback {
+	since := w.now() - window
+	if since < 0 {
+		since = 0
+	}
+	if w.rawFeedback {
+		perf, n := rawMean(w.perfSensor.Window().Since(since))
+		power, _ := rawMean(w.powerSensor.Window().Since(since))
+		return core.Feedback{Perf: perf, Power: power, Samples: n}
+	}
+	perf, n := w.perfSensor.Window().FilteredMean(since)
+	power, _ := w.powerSensor.Window().FilteredMean(since)
+	return core.Feedback{Perf: perf, Power: power, Samples: n}
+}
+
+// AppPerf implements core.AffinityEnv: filtered per-application heartbeats.
+func (w *world) AppPerf(window time.Duration) []float64 {
+	since := w.now() - window
+	if since < 0 {
+		since = 0
+	}
+	out := make([]float64, len(w.appSensors))
+	for i, s := range w.appSensors {
+		out[i], _ = s.Window().FilteredMean(since)
+	}
+	return out
+}
+
+// SetAffinity implements core.AffinityEnv: per-application core limits take
+// effect after thread-migration latency.
+func (w *world) SetAffinity(limits []int) time.Duration {
+	at := w.now() + 500*time.Millisecond
+	if n := len(w.pendingAff); n > 0 && at < w.pendingAff[n-1].at {
+		at = w.pendingAff[n-1].at
+	}
+	w.pendingAff = append(w.pendingAff, pendingAffinity{at: at, limits: append([]int(nil), limits...)})
+	return at
+}
+
+// --- rapl.Actuator ---
+
+// SocketPower implements rapl.Actuator with the true per-socket power (the
+// firmware's estimator perturbs it itself).
+func (w *world) SocketPower(socket int) float64 {
+	if w.evalStale {
+		w.refresh(w.now())
+	}
+	if socket >= len(w.eval.PowerSocket) {
+		return 0
+	}
+	return w.eval.PowerSocket[socket]
+}
+
+// SetOperatingPoint implements rapl.Actuator: the firmware adjusts its
+// socket's speed directly in hardware.
+func (w *world) SetOperatingPoint(socket int, freqIdx int, duty float64) {
+	if socket >= len(w.active.Freq) {
+		return
+	}
+	if w.active.Freq[socket] == freqIdx && w.active.Duty[socket] == duty {
+		return
+	}
+	if w.active.Freq[socket] != freqIdx || abs(w.active.Duty[socket]-duty) >= 0.049 {
+		w.opLog = append(w.opLog, OpEvent{T: w.now(), Socket: socket, FreqIdx: freqIdx, Duty: duty})
+	}
+	w.active.Freq[socket] = freqIdx
+	w.active.Duty[socket] = duty
+	w.evalStale = true
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// result assembles the run's outcome.
+func (w *world) result(s Scenario) Result {
+	res := Result{
+		PowerTrace:  powerTraceOf(w.powerSensor),
+		PerfTrace:   powerTraceOf(w.perfSensor),
+		TruePower:   w.truePower,
+		EnergyJ:     w.energyJ,
+		FinalConfig: w.softCfg.Clone(),
+		FinalEval:   w.eval,
+		ConfigLog:   w.configLog,
+		OpLog:       w.opLog,
+		SpinTrace:   w.spinTrace,
+		BWTrace:     w.bwTrace,
+		MaxTempC:    w.maxTempC,
+	}
+	if w.totalTicks > 0 {
+		res.ThermalThrottleFrac = float64(w.throttleTicks) / float64(w.totalTicks)
+	}
+	// Enforcement is judged on a 400 ms-averaged trace: RAPL's contract
+	// is an energy budget per averaging window (the firmware legitimately
+	// alternates operating points within it), and physical power meters
+	// integrate over comparable spans. A sliding mean much shorter than
+	// the firmware window would misread legal rung-alternation as
+	// violation on platforms whose p-state granularity is coarse relative
+	// to the cap.
+	smoothed := metrics.Smooth(w.truePower, 400*time.Millisecond)
+	res.Settling, res.Settled = metrics.SettlingTime(smoothed, metrics.DefaultSettling(s.CapWatts))
+
+	// Performance convergence (the efficiency half of Fig. 1): judged on
+	// the smoothed true aggregate rate.
+	perfTrue := sim.NewSeries("perf_true")
+	for i, sm := range w.truePower.Samples {
+		total := 0.0
+		for _, tr := range w.rateTrace {
+			if i < tr.Len() {
+				total += tr.Samples[i].V
+			}
+		}
+		perfTrue.Add(sm.T, total)
+	}
+	res.PerfConvergence, res.PerfConverged = metrics.ConvergenceTime(
+		metrics.Smooth(perfTrue, 400*time.Millisecond), 0.05, steadyTail)
+
+	tail := time.Duration(float64(s.Duration) * (1 - steadyTail))
+	res.SteadyRates = make([]float64, len(w.apps))
+	for i, tr := range w.rateTrace {
+		res.SteadyRates[i] = tr.MeanBetween(tail, s.Duration+1)
+	}
+	res.SteadyPower = w.truePower.MeanBetween(tail, s.Duration+1)
+
+	// Cap violations after a 1 s grace period (startup transient),
+	// judged on a longer integration window: the firmware's contract is
+	// energy per averaging window (bursts are compensated within it), and
+	// physical meters integrate over comparable spans.
+	violations, total := 0, 0
+	for _, sm := range smoothed.Between(time.Second, s.Duration+1) {
+		total++
+		if sm.V > s.CapWatts*1.03 {
+			violations++
+		}
+	}
+	if total > 0 {
+		res.ViolationFrac = float64(violations) / float64(total)
+	}
+	return res
+}
+
+// powerTraceOf returns the series a sensor records into. Sensors in this
+// harness are always constructed with Record.
+func powerTraceOf(s *telemetry.Sensor) *sim.Series { return s.Trace() }
+
+// rawMean averages values without outlier filtering (the RawFeedback
+// ablation).
+func rawMean(vals []float64) (float64, int) {
+	if len(vals) == 0 {
+		return 0, 0
+	}
+	sum := 0.0
+	for _, v := range vals {
+		sum += v
+	}
+	return sum / float64(len(vals)), len(vals)
+}

@@ -1,0 +1,215 @@
+// Package experiment regenerates every table and figure of the paper's
+// evaluation (Section 5) on the simulated platform: per-experiment drivers
+// return typed rows/series plus rendered report tables. Sweeps shared by
+// several figures (the single-application grid behind Table 3 and Figures
+// 3, 4, 5 and 7; the multi-application grid behind Tables 5-6 and Figures 6
+// and 8) run once and are memoized per configuration.
+package experiment
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"pupil/internal/control"
+	"pupil/internal/core"
+	"pupil/internal/driver"
+	"pupil/internal/machine"
+	"pupil/internal/system"
+	"pupil/internal/workload"
+)
+
+// Technique names, matching the paper's legends.
+const (
+	TechRAPL         = "RAPL"
+	TechSoftDVFS     = "Soft-DVFS"
+	TechSoftModeling = "Soft-Modeling"
+	TechSoftDecision = "Soft-Decision"
+	TechPUPiL        = "PUPiL"
+)
+
+// Techniques lists the points of comparison in presentation order.
+func Techniques() []string {
+	return []string{TechRAPL, TechSoftDVFS, TechSoftModeling, TechSoftDecision, TechPUPiL}
+}
+
+// Config selects the sweep's scale.
+type Config struct {
+	// Seed drives all randomness; equal configs produce equal results.
+	Seed uint64
+	// Quick trims the grid (3 caps, 8 benchmarks, shorter runs) for
+	// tests and exploratory runs. Full reproductions leave it false.
+	Quick bool
+}
+
+// Caps returns the evaluated processor power caps in Watts (Section 5.1).
+func (c Config) Caps() []float64 {
+	if c.Quick {
+		return []float64{60, 140, 220}
+	}
+	return []float64{60, 100, 140, 180, 220}
+}
+
+// Apps returns the benchmark names in figure order.
+func (c Config) Apps() []string {
+	if c.Quick {
+		return []string{"blackscholes", "jacobi", "x264", "btree", "dijkstra", "STREAM", "kmeans", "vips"}
+	}
+	return workload.Names()
+}
+
+// Duration returns the simulated run length for a technique: long enough
+// for the slowest technique to converge with a steady tail to average.
+func (c Config) Duration(tech string) time.Duration {
+	full := map[string]time.Duration{
+		TechRAPL:         30 * time.Second,
+		TechSoftDVFS:     40 * time.Second,
+		TechSoftModeling: 20 * time.Second,
+		TechSoftDecision: 150 * time.Second,
+		TechPUPiL:        60 * time.Second,
+	}
+	d, ok := full[tech]
+	if !ok {
+		d = 60 * time.Second
+	}
+	if c.Quick {
+		d /= 2
+	}
+	return d
+}
+
+// Record condenses one capped run to the quantities the figures need.
+type Record struct {
+	Settling      time.Duration
+	Settled       bool
+	SteadyRates   []float64
+	SteadyPower   float64
+	ViolationFrac float64
+	Eval          system.Eval
+	FinalConfig   machine.Config
+}
+
+// SteadyTotal sums the steady per-app rates.
+func (r Record) SteadyTotal() float64 {
+	t := 0.0
+	for _, v := range r.SteadyRates {
+		t += v
+	}
+	return t
+}
+
+func condense(res driver.Result) Record {
+	return Record{
+		Settling:      res.Settling,
+		Settled:       res.Settled,
+		SteadyRates:   res.SteadyRates,
+		SteadyPower:   res.SteadyPower,
+		ViolationFrac: res.ViolationFrac,
+		Eval:          res.FinalEval,
+		FinalConfig:   res.FinalConfig,
+	}
+}
+
+// harness bundles the per-config shared state: the platform, the trained
+// Soft-Modeling instance, and isolated-run rates.
+type harness struct {
+	cfg       Config
+	plat      *machine.Platform
+	softModel *control.SoftModeling
+	aloneMu   sync.Mutex
+	alone     map[string]float64
+}
+
+func newHarness(cfg Config) (*harness, error) {
+	plat := machine.E52690Server()
+	sm, err := control.TrainSoftModeling(plat, cfg.Seed^0x50f7)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: training Soft-Modeling: %w", err)
+	}
+	return &harness{cfg: cfg, plat: plat, softModel: sm, alone: map[string]float64{}}, nil
+}
+
+// controller builds a fresh controller instance for one run.
+func (h *harness) controller(tech string) (core.Controller, error) {
+	switch tech {
+	case TechRAPL:
+		return control.NewRAPLOnly(), nil
+	case TechSoftDVFS:
+		return control.NewSoftDVFS(), nil
+	case TechSoftModeling:
+		return h.softModel, nil
+	case TechSoftDecision:
+		return core.NewSoftDecision(core.DefaultOrdered(h.plat)), nil
+	case TechPUPiL:
+		return core.NewPUPiL(core.DefaultOrdered(h.plat)), nil
+	default:
+		return nil, fmt.Errorf("experiment: unknown technique %q", tech)
+	}
+}
+
+// run executes one capped scenario.
+func (h *harness) run(tech string, specs []workload.Spec, capW float64, weights []float64, seedSalt uint64) (Record, error) {
+	ctrl, err := h.controller(tech)
+	if err != nil {
+		return Record{}, err
+	}
+	res, err := driver.Run(driver.Scenario{
+		Platform:    h.plat,
+		Specs:       specs,
+		CapWatts:    capW,
+		Controller:  ctrl,
+		Duration:    h.cfg.Duration(tech),
+		Seed:        h.cfg.Seed ^ seedSalt,
+		PerfWeights: weights,
+	})
+	if err != nil {
+		return Record{}, err
+	}
+	return condense(res), nil
+}
+
+// aloneRate returns a benchmark's isolated best rate on the uncapped
+// machine (the weighted-speedup normalization of Section 4.3.2).
+func (h *harness) aloneRate(name string, threads int) (float64, error) {
+	key := fmt.Sprintf("%s/%d", name, threads)
+	h.aloneMu.Lock()
+	defer h.aloneMu.Unlock()
+	if v, ok := h.alone[key]; ok {
+		return v, nil
+	}
+	prof, err := workload.ByName(name)
+	if err != nil {
+		return 0, err
+	}
+	apps, err := workload.NewInstances([]workload.Spec{{Profile: prof, Threads: threads}})
+	if err != nil {
+		return 0, err
+	}
+	_, ev, ok := control.OptimalSearch(h.plat, apps, 1e9, control.TotalRate)
+	if !ok {
+		return 0, fmt.Errorf("experiment: no feasible configuration for %s", name)
+	}
+	h.alone[key] = ev.TotalRate()
+	return ev.TotalRate(), nil
+}
+
+// seedFor derives a stable per-run seed salt from labels.
+func seedFor(labels ...string) uint64 {
+	h := uint64(14695981039346656037)
+	for _, l := range labels {
+		for i := 0; i < len(l); i++ {
+			h ^= uint64(l[i])
+			h *= 1099511628211
+		}
+		h ^= '/'
+		h *= 1099511628211
+	}
+	return h
+}
+
+// memoization of shared sweeps.
+var (
+	memoMu     sync.Mutex
+	singleMemo = map[Config]*SingleAppData{}
+	multiMemo  = map[Config]*MultiAppData{}
+)

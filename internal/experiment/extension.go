@@ -1,0 +1,98 @@
+package experiment
+
+import (
+	"fmt"
+
+	"pupil/internal/core"
+	"pupil/internal/driver"
+	"pupil/internal/metrics"
+	"pupil/internal/report"
+	"pupil/internal/workload"
+)
+
+// ExtensionEAS quantifies the PUPiL-EAS extension (the paper's Section 6
+// future work) against plain PUPiL on the oblivious mixes at moderate and
+// loose caps — the regime where the global walk can get stuck keeping both
+// sockets and only per-application pinning isolates the polluter.
+func ExtensionEAS(cfg Config) (*report.Table, error) {
+	h, err := newHarness(cfg)
+	if err != nil {
+		return nil, err
+	}
+	// The pathological mixes (5-8) and the mixed sets (9-12): in the
+	// latter, the scalable co-runners keep the global walk on both
+	// sockets, so only per-application pinning can isolate the polluter.
+	mixNames := []string{"mix5", "mix6", "mix7", "mix8", "mix9", "mix10", "mix11", "mix12"}
+	if cfg.Quick {
+		mixNames = []string{"mix7", "mix12"}
+	}
+	caps := []float64{140, 220}
+
+	cols := []string{"Mix"}
+	for _, capW := range caps {
+		cols = append(cols, fmt.Sprintf("PUPiL@%.0fW", capW), fmt.Sprintf("EAS@%.0fW", capW),
+			fmt.Sprintf("gain@%.0fW", capW))
+	}
+	t := report.NewTable("Extension: PUPiL-EAS vs PUPiL weighted speedup (oblivious)", cols...)
+
+	gains := map[float64][]float64{}
+	for _, mixName := range mixNames {
+		mix, err := workload.MixByName(mixName)
+		if err != nil {
+			return nil, err
+		}
+		profs, err := mix.Profiles()
+		if err != nil {
+			return nil, err
+		}
+		specs := workload.Specs(profs, 32)
+		weights := make([]float64, len(profs))
+		for i, p := range profs {
+			w, err := h.aloneRate(p.Name, 32)
+			if err != nil {
+				return nil, err
+			}
+			weights[i] = w
+		}
+
+		row := []string{mixName}
+		for _, capW := range caps {
+			run := func(ctrl core.Controller) (float64, error) {
+				res, err := driver.Run(driver.Scenario{
+					Platform:    h.plat,
+					Specs:       specs,
+					CapWatts:    capW,
+					Controller:  ctrl,
+					Duration:    h.cfg.Duration(TechPUPiL) + 30*1e9, // extra time for the pinning phase
+					Seed:        h.cfg.Seed ^ seedFor("eas", mixName, fmt.Sprintf("%.0f", capW)),
+					PerfWeights: weights,
+				})
+				if err != nil {
+					return 0, err
+				}
+				return metrics.WeightedSpeedup(res.SteadyRates, weights), nil
+			}
+			pupilWS, err := run(core.NewPUPiL(core.DefaultOrdered(h.plat)))
+			if err != nil {
+				return nil, err
+			}
+			easWS, err := run(core.NewPUPiLEAS(core.DefaultOrdered(h.plat)))
+			if err != nil {
+				return nil, err
+			}
+			gain := 0.0
+			if pupilWS > 0 {
+				gain = easWS / pupilWS
+			}
+			gains[capW] = append(gains[capW], gain)
+			row = append(row, report.F(pupilWS, 2), report.F(easWS, 2), report.F(gain, 2))
+		}
+		t.AddRow(row...)
+	}
+	hm := []string{"Harm.Mean"}
+	for _, capW := range caps {
+		hm = append(hm, "", "", report.F(metrics.HarmonicMean(gains[capW]), 2))
+	}
+	t.AddRow(hm...)
+	return t, nil
+}

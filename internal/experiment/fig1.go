@@ -1,0 +1,70 @@
+package experiment
+
+import (
+	"time"
+
+	"pupil/internal/driver"
+	"pupil/internal/machine"
+	"pupil/internal/sim"
+	"pupil/internal/workload"
+)
+
+// Fig1Result holds the motivational-example traces: x264 under a 140 W cap
+// for RAPL and Soft-Decision (the paper's Fig. 1), plus PUPiL for the
+// hybrid's trajectory.
+type Fig1Result struct {
+	CapWatts float64
+	// Power and Perf index technique name -> measured trace.
+	Power map[string]*sim.Series
+	Perf  map[string]*sim.Series
+	// Settling indexes technique -> measured settling time.
+	Settling map[string]time.Duration
+	// SteadyPerf indexes technique -> converged performance.
+	SteadyPerf map[string]float64
+}
+
+// Fig1 reruns the motivational example: the tradeoff between hardware
+// timeliness and software efficiency on x264 at 140 W over 150 seconds.
+func Fig1(cfg Config) (*Fig1Result, error) {
+	h, err := newHarness(cfg)
+	if err != nil {
+		return nil, err
+	}
+	prof, err := workload.ByName("x264")
+	if err != nil {
+		return nil, err
+	}
+	dur := 150 * time.Second
+	if cfg.Quick {
+		dur = 75 * time.Second
+	}
+	out := &Fig1Result{
+		CapWatts:   140,
+		Power:      map[string]*sim.Series{},
+		Perf:       map[string]*sim.Series{},
+		Settling:   map[string]time.Duration{},
+		SteadyPerf: map[string]float64{},
+	}
+	for _, tech := range []string{TechRAPL, TechSoftDecision, TechPUPiL} {
+		ctrl, err := h.controller(tech)
+		if err != nil {
+			return nil, err
+		}
+		res, err := driver.Run(driver.Scenario{
+			Platform:   machine.E52690Server(),
+			Specs:      []workload.Spec{{Profile: prof, Threads: singleAppThreads}},
+			CapWatts:   out.CapWatts,
+			Controller: ctrl,
+			Duration:   dur,
+			Seed:       cfg.Seed ^ seedFor("fig1", tech),
+		})
+		if err != nil {
+			return nil, err
+		}
+		out.Power[tech] = res.PowerTrace
+		out.Perf[tech] = res.PerfTrace
+		out.Settling[tech] = res.Settling
+		out.SteadyPerf[tech] = res.SteadyTotal()
+	}
+	return out, nil
+}

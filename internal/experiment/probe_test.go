@@ -1,0 +1,64 @@
+package experiment
+
+// Calibration probes: print the reproduced tables in quick mode so the
+// model constants can be compared against the paper. They only log.
+
+import "testing"
+
+func TestProbeTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration probe")
+	}
+	cfg := Config{Seed: 42, Quick: true}
+
+	_, t2, err := Table2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", t2)
+
+	t3, err := Table3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", t3)
+
+	f4, err := Fig4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", f4)
+
+	t5, err := Table5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", t5)
+
+	t6, err := Table6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", t6)
+}
+
+func TestProbeSoftModelingViolations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration probe")
+	}
+	d, err := SingleAppSweep(Config{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, capW := range []float64{60.0, 100.0} {
+		n, viol := 0, 0.0
+		for app, rec := range d.Records[TechSoftModeling][capW] {
+			viol += rec.ViolationFrac
+			n++
+			if rec.ViolationFrac > 0.5 {
+				t.Logf("%.0fW %-16s violations %.2f", capW, app, rec.ViolationFrac)
+			}
+		}
+		t.Logf("%.0fW mean violation frac = %.2f over %d apps", capW, viol/float64(n), n)
+	}
+}

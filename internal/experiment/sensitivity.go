@@ -1,0 +1,102 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"pupil/internal/control"
+	"pupil/internal/core"
+	"pupil/internal/driver"
+	"pupil/internal/machine"
+	"pupil/internal/report"
+	"pupil/internal/telemetry"
+	"pupil/internal/workload"
+)
+
+// SensitivityRow is one noise level's outcome across caps.
+type SensitivityRow struct {
+	Label string
+	// Normalized indexes cap -> PUPiL performance normalized to Optimal.
+	Normalized map[float64]float64
+	// Violations indexes cap -> fraction of over-cap samples.
+	Violations map[float64]float64
+}
+
+// Sensitivity reproduces the spirit of the paper's sensitivity analysis
+// (Section 5.6): PUPiL's converged efficiency and cap compliance as sensor
+// noise grows from none to an order of magnitude beyond the default. A
+// feedback-filtered decision framework should degrade gracefully — results
+// account for the overhead and noise of the capping system itself.
+func Sensitivity(cfg Config) ([]SensitivityRow, *report.Table, error) {
+	plat := machine.E52690Server()
+	prof, err := workload.ByName("bodytrack")
+	if err != nil {
+		return nil, nil, err
+	}
+	specs := []workload.Spec{{Profile: prof, Threads: singleAppThreads}}
+	apps, err := workload.NewInstances(specs)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	caps := cfg.Caps()
+	levels := []struct {
+		label string
+		noise *telemetry.NoiseSpec
+	}{
+		{"no noise", &telemetry.NoiseSpec{}},
+		{"default", nil},
+		{"3x noise", &telemetry.NoiseSpec{RelStdDev: 0.09, OutlierProb: 0.03, OutlierMag: 0.6}},
+		{"10x noise", &telemetry.NoiseSpec{RelStdDev: 0.30, OutlierProb: 0.10, OutlierMag: 0.6}},
+	}
+
+	dur := 60 * time.Second
+	if cfg.Quick {
+		dur = 30 * time.Second
+	}
+
+	var rows []SensitivityRow
+	for _, lv := range levels {
+		row := SensitivityRow{
+			Label:      lv.label,
+			Normalized: map[float64]float64{},
+			Violations: map[float64]float64{},
+		}
+		for _, capW := range caps {
+			_, optEval, ok := control.OptimalSearch(plat, apps, capW, control.TotalRate)
+			if !ok {
+				return nil, nil, fmt.Errorf("experiment: no feasible config at %.0f W", capW)
+			}
+			res, err := driver.Run(driver.Scenario{
+				Platform:   plat,
+				Specs:      specs,
+				CapWatts:   capW,
+				Controller: core.NewPUPiL(core.DefaultOrdered(plat)),
+				Duration:   dur,
+				Seed:       cfg.Seed ^ seedFor("sensitivity", lv.label, fmt.Sprintf("%.0f", capW)),
+				PerfNoise:  lv.noise,
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			row.Normalized[capW] = res.SteadyTotal() / optEval.TotalRate()
+			row.Violations[capW] = res.ViolationFrac
+		}
+		rows = append(rows, row)
+	}
+
+	cols := []string{"Perf sensor noise"}
+	for _, capW := range caps {
+		cols = append(cols, fmt.Sprintf("%.0fW", capW), fmt.Sprintf("viol@%.0fW", capW))
+	}
+	t := report.NewTable("Sensitivity: PUPiL normalized performance vs sensor noise (Section 5.6)", cols...)
+	for _, row := range rows {
+		cells := []string{row.Label}
+		for _, capW := range caps {
+			cells = append(cells, report.F(row.Normalized[capW], 2),
+				report.F(row.Violations[capW]*100, 1)+"%")
+		}
+		t.AddRow(cells...)
+	}
+	return rows, t, nil
+}

@@ -1,0 +1,365 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"pupil/internal/control"
+	"pupil/internal/machine"
+	"pupil/internal/metrics"
+	"pupil/internal/report"
+	"pupil/internal/system"
+	"pupil/internal/workload"
+)
+
+// SingleAppData is the shared single-application sweep: every benchmark
+// under every cap with every technique, plus the Optimal oracle — the raw
+// material of Table 3 and Figures 3, 4, 5 and 7.
+type SingleAppData struct {
+	Cfg  Config
+	Caps []float64
+	Apps []string
+	// Records indexes technique -> cap -> app.
+	Records map[string]map[float64]map[string]Record
+	// OptimalRate and OptimalPower index cap -> app.
+	OptimalRate  map[float64]map[string]float64
+	OptimalPower map[float64]map[string]float64
+	// Uncapped holds each app's ground-truth characterization at the max
+	// configuration (Fig. 5's GIPS and bandwidth axes).
+	Uncapped map[string]system.Eval
+}
+
+// singleAppThreads is the paper's single-application thread count: all
+// benchmarks run with up to 32 threads, the hardware maximum.
+const singleAppThreads = 32
+
+// SingleAppSweep runs (or returns the memoized) single-application grid.
+func SingleAppSweep(cfg Config) (*SingleAppData, error) {
+	memoMu.Lock()
+	if d, ok := singleMemo[cfg]; ok {
+		memoMu.Unlock()
+		return d, nil
+	}
+	memoMu.Unlock()
+
+	h, err := newHarness(cfg)
+	if err != nil {
+		return nil, err
+	}
+	d := &SingleAppData{
+		Cfg:          cfg,
+		Caps:         cfg.Caps(),
+		Apps:         cfg.Apps(),
+		Records:      map[string]map[float64]map[string]Record{},
+		OptimalRate:  map[float64]map[string]float64{},
+		OptimalPower: map[float64]map[string]float64{},
+		Uncapped:     map[string]system.Eval{},
+	}
+
+	for _, app := range d.Apps {
+		prof, err := workload.ByName(app)
+		if err != nil {
+			return nil, err
+		}
+		specs := []workload.Spec{{Profile: prof, Threads: singleAppThreads}}
+		apps, err := workload.NewInstances(specs)
+		if err != nil {
+			return nil, err
+		}
+		d.Uncapped[app] = system.Evaluate(h.plat, machine.MaxConfig(h.plat), apps, 0)
+
+		for _, capW := range d.Caps {
+			optCfg, optEval, ok := control.OptimalSearch(h.plat, apps, capW, control.TotalRate)
+			_ = optCfg
+			if !ok {
+				return nil, fmt.Errorf("experiment: no feasible config for %s at %.0f W", app, capW)
+			}
+			putF(d.OptimalRate, capW, app, optEval.TotalRate())
+			putF(d.OptimalPower, capW, app, optEval.PowerTotal)
+
+			for _, tech := range Techniques() {
+				rec, err := h.run(tech, specs, capW, nil,
+					seedFor(tech, app, fmt.Sprintf("%.0f", capW)))
+				if err != nil {
+					return nil, fmt.Errorf("experiment: %s/%s/%.0fW: %w", tech, app, capW, err)
+				}
+				putR(d.Records, tech, capW, app, rec)
+			}
+		}
+	}
+
+	memoMu.Lock()
+	singleMemo[cfg] = d
+	memoMu.Unlock()
+	return d, nil
+}
+
+func putF(m map[float64]map[string]float64, capW float64, app string, v float64) {
+	if m[capW] == nil {
+		m[capW] = map[string]float64{}
+	}
+	m[capW][app] = v
+}
+
+func putR(m map[string]map[float64]map[string]Record, tech string, capW float64, app string, r Record) {
+	if m[tech] == nil {
+		m[tech] = map[float64]map[string]Record{}
+	}
+	if m[tech][capW] == nil {
+		m[tech][capW] = map[string]Record{}
+	}
+	m[tech][capW][app] = r
+}
+
+// Normalized returns a technique's steady performance normalized to
+// Optimal for one cap and app (the y-axis of Fig. 3).
+func (d *SingleAppData) Normalized(tech string, capW float64, app string) float64 {
+	opt := d.OptimalRate[capW][app]
+	if opt <= 0 {
+		return 0
+	}
+	return d.Records[tech][capW][app].SteadyTotal() / opt
+}
+
+// NormalizedEfficiency returns performance-per-Watt normalized to
+// Optimal's (the y-axis of Fig. 7).
+func (d *SingleAppData) NormalizedEfficiency(tech string, capW float64, app string) float64 {
+	rec := d.Records[tech][capW][app]
+	opt := d.OptimalRate[capW][app]
+	optP := d.OptimalPower[capW][app]
+	if opt <= 0 || optP <= 0 || rec.SteadyPower <= 0 {
+		return 0
+	}
+	return (rec.SteadyTotal() / rec.SteadyPower) / (opt / optP)
+}
+
+// feasible reports whether a technique has valid data at a cap, matching
+// the paper's missing entries: Soft-DVFS cannot reach 60 W (even the lowest
+// p-state violates), and Soft-Modeling's 60 W predictions violate the cap
+// on ~70% of data points.
+func (d *SingleAppData) feasible(tech string, capW float64) bool {
+	if capW > 60 {
+		return true
+	}
+	switch tech {
+	case TechSoftDVFS:
+		// Infeasible when the runs could not settle under the cap.
+		settledAll := true
+		for _, rec := range d.Records[tech][capW] {
+			if !rec.Settled {
+				settledAll = false
+			}
+		}
+		return settledAll
+	case TechSoftModeling:
+		// Excluded when violations dominate.
+		viol, n := 0.0, 0
+		for _, rec := range d.Records[tech][capW] {
+			viol += rec.ViolationFrac
+			n++
+		}
+		return n == 0 || viol/float64(n) < 0.2
+	}
+	return true
+}
+
+// Table3 renders the harmonic-mean normalized performance per cap and
+// technique.
+func Table3(cfg Config) (*report.Table, error) {
+	d, err := SingleAppSweep(cfg)
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("Table 3: Comparison of Harmonic Mean Performance (normalized to optimal)",
+		append([]string{"Power Cap"}, Techniques()...)...)
+	for _, capW := range d.Caps {
+		row := []string{fmt.Sprintf("%.0fW", capW)}
+		for _, tech := range Techniques() {
+			if !d.feasible(tech, capW) {
+				row = append(row, "-")
+				continue
+			}
+			var vals []float64
+			for _, app := range d.Apps {
+				vals = append(vals, d.Normalized(tech, capW, app))
+			}
+			row = append(row, report.F(metrics.HarmonicMean(vals), 2))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Fig3 renders per-application normalized performance, one table per cap.
+func Fig3(cfg Config) ([]*report.Table, error) {
+	d, err := SingleAppSweep(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var out []*report.Table
+	for _, capW := range d.Caps {
+		t := report.NewTable(
+			fmt.Sprintf("Fig 3 (%0.fW): performance normalized to optimal", capW),
+			append([]string{"Benchmark"}, Techniques()...)...)
+		for _, app := range append(append([]string{}, d.Apps...), "Harm.Mean") {
+			row := []string{app}
+			for _, tech := range Techniques() {
+				if !d.feasible(tech, capW) {
+					row = append(row, "-")
+					continue
+				}
+				if app == "Harm.Mean" {
+					var vals []float64
+					for _, a := range d.Apps {
+						vals = append(vals, d.Normalized(tech, capW, a))
+					}
+					row = append(row, report.F(metrics.HarmonicMean(vals), 2))
+				} else {
+					row = append(row, report.F(d.Normalized(tech, capW, app), 2))
+				}
+			}
+			t.AddRow(row...)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// Fig4Techs lists the techniques with online settling behaviour
+// (Soft-Modeling is offline and has no settling time).
+func Fig4Techs() []string {
+	return []string{TechRAPL, TechSoftDVFS, TechSoftDecision, TechPUPiL}
+}
+
+// Fig4 renders settling times (ms) per application at the 140 W cap, plus
+// the cross-application average.
+func Fig4(cfg Config) (*report.Table, error) {
+	d, err := SingleAppSweep(cfg)
+	if err != nil {
+		return nil, err
+	}
+	const capW = 140.0
+	t := report.NewTable("Fig 4: Settling time (ms) at the 140W cap",
+		append([]string{"Benchmark"}, Fig4Techs()...)...)
+	sums := map[string]float64{}
+	counts := map[string]int{}
+	for _, app := range d.Apps {
+		row := []string{app}
+		for _, tech := range Fig4Techs() {
+			rec := d.Records[tech][capW][app]
+			if !rec.Settled {
+				row = append(row, "unsettled")
+				continue
+			}
+			ms := float64(rec.Settling) / float64(time.Millisecond)
+			row = append(row, report.F(ms, 0))
+			sums[tech] += ms
+			counts[tech]++
+		}
+		t.AddRow(row...)
+	}
+	avg := []string{"Average"}
+	for _, tech := range Fig4Techs() {
+		if counts[tech] == 0 {
+			avg = append(avg, "-")
+			continue
+		}
+		avg = append(avg, report.F(sums[tech]/float64(counts[tech]), 0))
+	}
+	t.AddRow(avg...)
+	return t, nil
+}
+
+// Fig4Averages returns mean settling in milliseconds per technique, for
+// assertions and summaries.
+func Fig4Averages(cfg Config) (map[string]float64, error) {
+	d, err := SingleAppSweep(cfg)
+	if err != nil {
+		return nil, err
+	}
+	const capW = 140.0
+	out := map[string]float64{}
+	for _, tech := range Fig4Techs() {
+		sum, n := 0.0, 0
+		for _, app := range d.Apps {
+			rec := d.Records[tech][capW][app]
+			if rec.Settled {
+				sum += float64(rec.Settling) / float64(time.Millisecond)
+				n++
+			}
+		}
+		if n > 0 {
+			out[tech] = sum / float64(n)
+		}
+	}
+	return out, nil
+}
+
+// Fig5Row is one benchmark's characterization point.
+type Fig5Row struct {
+	App      string
+	GIPS     float64
+	MemBWGBs float64
+	// RAPLNearOptimal is true for "blue dot" apps: RAPL within 10% of
+	// optimal at the 140 W cap.
+	RAPLNearOptimal bool
+}
+
+// Fig5 returns the benchmark-characterization scatter data.
+func Fig5(cfg Config) ([]Fig5Row, *report.Table, error) {
+	d, err := SingleAppSweep(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	t := report.NewTable("Fig 5: Benchmark characteristics (uncapped, max configuration)",
+		"Benchmark", "GIPS", "MemBW GB/s", "RAPL@140W")
+	var rows []Fig5Row
+	for _, app := range d.Apps {
+		ev := d.Uncapped[app]
+		near := d.Normalized(TechRAPL, 140, app) >= 0.9
+		rows = append(rows, Fig5Row{App: app, GIPS: ev.GIPS, MemBWGBs: ev.MemBWGBs, RAPLNearOptimal: near})
+		cls := "poor (>10% from optimal)"
+		if near {
+			cls = "near-optimal"
+		}
+		t.AddRow(app, report.F(ev.GIPS, 1), report.F(ev.MemBWGBs, 1), cls)
+	}
+	return rows, t, nil
+}
+
+// Fig7 renders energy efficiency normalized to optimal, one table per cap
+// (Soft-Modeling is omitted, as in the paper's figure).
+func Fig7(cfg Config) ([]*report.Table, error) {
+	d, err := SingleAppSweep(cfg)
+	if err != nil {
+		return nil, err
+	}
+	techs := []string{TechRAPL, TechSoftDVFS, TechSoftDecision, TechPUPiL}
+	var out []*report.Table
+	for _, capW := range d.Caps {
+		t := report.NewTable(
+			fmt.Sprintf("Fig 7 (%0.fW): energy efficiency normalized to optimal", capW),
+			append([]string{"Benchmark"}, techs...)...)
+		for _, app := range append(append([]string{}, d.Apps...), "Harm.Mean") {
+			row := []string{app}
+			for _, tech := range techs {
+				if !d.feasible(tech, capW) {
+					row = append(row, "-")
+					continue
+				}
+				if app == "Harm.Mean" {
+					var vals []float64
+					for _, a := range d.Apps {
+						vals = append(vals, d.NormalizedEfficiency(tech, capW, a))
+					}
+					row = append(row, report.F(metrics.HarmonicMean(vals), 2))
+				} else {
+					row = append(row, report.F(d.NormalizedEfficiency(tech, capW, app), 2))
+				}
+			}
+			t.AddRow(row...)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}

@@ -1,0 +1,88 @@
+package heartbeat
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestBeatAndTotal(t *testing.T) {
+	m := NewMonitor("x264", 16)
+	for i := 1; i <= 5; i++ {
+		if err := m.Beat(time.Duration(i)*time.Second, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Total() != 10 {
+		t.Errorf("Total = %g, want 10", m.Total())
+	}
+}
+
+func TestRateOverWindow(t *testing.T) {
+	m := NewMonitor("app", 64)
+	for i := 1; i <= 10; i++ {
+		m.Beat(time.Duration(i)*100*time.Millisecond, 3)
+	}
+	// (0.5s, 1.0s]: beats at 0.6..1.0 = 5 beats x 3 units over 0.5s.
+	got := m.Rate(500*time.Millisecond, time.Second)
+	if math.Abs(got-30) > 1e-9 {
+		t.Errorf("Rate = %g, want 30", got)
+	}
+	if m.Rate(5*time.Second, 6*time.Second) != 0 {
+		t.Errorf("empty span should report 0")
+	}
+	if m.Rate(time.Second, time.Second) != 0 {
+		t.Errorf("degenerate span should report 0")
+	}
+}
+
+func TestRejectsInvalidBeats(t *testing.T) {
+	m := NewMonitor("app", 8)
+	if err := m.Beat(time.Second, -1); err == nil {
+		t.Error("negative progress accepted")
+	}
+	m.Beat(2*time.Second, 1)
+	if err := m.Beat(time.Second, 1); err == nil {
+		t.Error("out-of-order beat accepted")
+	}
+}
+
+func TestEvictionKeepsRecentHistory(t *testing.T) {
+	m := NewMonitor("app", 4)
+	for i := 1; i <= 10; i++ {
+		m.Beat(time.Duration(i)*time.Second, 1)
+	}
+	from, to, ok := m.Window()
+	if !ok {
+		t.Fatal("window empty")
+	}
+	if from != 7*time.Second || to != 10*time.Second {
+		t.Errorf("retained window = (%v, %v), want (7s, 10s)", from, to)
+	}
+	if m.Total() != 10 {
+		t.Errorf("Total must survive eviction: %g", m.Total())
+	}
+	// Old spans are unanswerable (report 0), recent ones exact.
+	if got := m.Rate(8*time.Second, 10*time.Second); math.Abs(got-1) > 1e-9 {
+		t.Errorf("recent rate = %g, want 1", got)
+	}
+}
+
+func TestEmptyMonitor(t *testing.T) {
+	m := NewMonitor("app", 0) // capacity defaults
+	if _, _, ok := m.Window(); ok {
+		t.Error("empty monitor reports a window")
+	}
+	if m.Rate(0, time.Second) != 0 {
+		t.Error("empty monitor reports a rate")
+	}
+}
+
+func TestFractionalBeats(t *testing.T) {
+	m := NewMonitor("solver", 16)
+	m.Beat(10*time.Millisecond, 0.25)
+	m.Beat(20*time.Millisecond, 0.25)
+	if got := m.Rate(0, 20*time.Millisecond); math.Abs(got-25) > 1e-9 {
+		t.Errorf("fractional rate = %g, want 25", got)
+	}
+}

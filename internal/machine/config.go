@@ -1,0 +1,228 @@
+package machine
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Config is a complete resource configuration of a platform: how many cores
+// are active on each active socket, whether hyperthreading is enabled, how
+// many memory controllers are in use, and the per-socket speed setting.
+// Duty models sub-p-state clock modulation (T-states), which the RAPL
+// firmware uses to enforce caps below the lowest p-state; software
+// controllers always leave it at 1.
+type Config struct {
+	Cores   int  // active cores on each active socket, 1..CoresPerSocket
+	Sockets int  // active sockets, 1..Platform.Sockets
+	HT      bool // hyperthreading enabled
+	MemCtls int  // memory controllers in use, 1..Platform.MemCtls
+
+	Freq []int     // per-socket speed setting index (0 = lowest, last = turbo)
+	Duty []float64 // per-socket effective clock fraction in (0, 1]
+}
+
+// MinimalConfig returns the smallest resource configuration: one core on one
+// socket, hyperthreading off, one memory controller, lowest speed. This is
+// the starting point of the decision framework's walk (Algorithm 1).
+func MinimalConfig(p *Platform) Config {
+	return newConfig(p, 1, 1, false, 1, 0)
+}
+
+// MaxConfig returns the largest configuration: all cores, all sockets,
+// hyperthreading on, all controllers, highest speed setting. This is what an
+// unmanaged system (or one governed only by RAPL) runs, since the default
+// scheduler spreads threads over everything available.
+func MaxConfig(p *Platform) Config {
+	ht := p.ThreadsPerCore > 1
+	return newConfig(p, p.CoresPerSocket, p.Sockets, ht, p.MemCtls, p.NumFreqSettings()-1)
+}
+
+func newConfig(p *Platform, cores, sockets int, ht bool, memctls, freqIdx int) Config {
+	c := Config{
+		Cores:   cores,
+		Sockets: sockets,
+		HT:      ht,
+		MemCtls: memctls,
+		Freq:    make([]int, p.Sockets),
+		Duty:    make([]float64, p.Sockets),
+	}
+	for s := 0; s < p.Sockets; s++ {
+		c.Freq[s] = freqIdx
+		c.Duty[s] = 1
+	}
+	return c
+}
+
+// Clone returns a deep copy of the configuration.
+func (c Config) Clone() Config {
+	out := c
+	out.Freq = append([]int(nil), c.Freq...)
+	out.Duty = append([]float64(nil), c.Duty...)
+	return out
+}
+
+// Normalize clamps every field into the valid range for platform p and
+// fills missing per-socket slices. It returns the normalized copy.
+func (c Config) Normalize(p *Platform) Config {
+	out := c.Clone()
+	out.Cores = clampI(out.Cores, 1, p.CoresPerSocket)
+	out.Sockets = clampI(out.Sockets, 1, p.Sockets)
+	out.MemCtls = clampI(out.MemCtls, 1, p.MemCtls)
+	if p.ThreadsPerCore < 2 {
+		out.HT = false
+	}
+	if len(out.Freq) != p.Sockets {
+		f := make([]int, p.Sockets)
+		for s := range f {
+			if s < len(out.Freq) {
+				f[s] = out.Freq[s]
+			}
+		}
+		out.Freq = f
+	}
+	for s := range out.Freq {
+		out.Freq[s] = clampI(out.Freq[s], 0, p.NumFreqSettings()-1)
+	}
+	if len(out.Duty) != p.Sockets {
+		d := make([]float64, p.Sockets)
+		for s := range d {
+			d[s] = 1
+			if s < len(out.Duty) && out.Duty[s] > 0 {
+				d[s] = out.Duty[s]
+			}
+		}
+		out.Duty = d
+	}
+	for s := range out.Duty {
+		out.Duty[s] = clampF(out.Duty[s], 0.05, 1)
+	}
+	return out
+}
+
+// ActiveCores returns the number of active cores on socket s (0 for parked
+// sockets).
+func (c Config) ActiveCores(s int) int {
+	if s >= c.Sockets {
+		return 0
+	}
+	return c.Cores
+}
+
+// TotalCores returns the total active physical cores.
+func (c Config) TotalCores() int { return c.Cores * c.Sockets }
+
+// HWThreads returns the number of schedulable hardware threads in this
+// configuration.
+func (c Config) HWThreads() int {
+	t := c.TotalCores()
+	if c.HT {
+		t *= 2
+	}
+	return t
+}
+
+// EffectiveGHz returns the effective clock of socket s: its speed setting's
+// frequency scaled by the duty cycle.
+func (c Config) EffectiveGHz(p *Platform, s int) float64 {
+	if s >= len(c.Freq) {
+		return p.MinGHz()
+	}
+	d := 1.0
+	if s < len(c.Duty) && c.Duty[s] > 0 {
+		d = c.Duty[s]
+	}
+	return p.FreqAt(c.Freq[s]) * d
+}
+
+// MeanGHz returns the active-core-weighted mean effective frequency across
+// active sockets.
+func (c Config) MeanGHz(p *Platform) float64 {
+	sum, n := 0.0, 0
+	for s := 0; s < c.Sockets; s++ {
+		sum += c.EffectiveGHz(p, s) * float64(c.ActiveCores(s))
+		n += c.ActiveCores(s)
+	}
+	if n == 0 {
+		return p.MinGHz()
+	}
+	return sum / float64(n)
+}
+
+// Equal reports whether two configurations are identical (including
+// per-socket speed and duty).
+func (c Config) Equal(o Config) bool {
+	if c.Cores != o.Cores || c.Sockets != o.Sockets || c.HT != o.HT || c.MemCtls != o.MemCtls {
+		return false
+	}
+	if len(c.Freq) != len(o.Freq) || len(c.Duty) != len(o.Duty) {
+		return false
+	}
+	for i := range c.Freq {
+		if c.Freq[i] != o.Freq[i] {
+			return false
+		}
+	}
+	for i := range c.Duty {
+		if c.Duty[i] != o.Duty[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the configuration compactly, e.g.
+// "8c x 2s HT mc2 f[15 15] d[1.00 1.00]".
+func (c Config) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%dc x %ds", c.Cores, c.Sockets)
+	if c.HT {
+		b.WriteString(" HT")
+	}
+	fmt.Fprintf(&b, " mc%d f%v", c.MemCtls, c.Freq)
+	allFull := true
+	for _, d := range c.Duty {
+		if d != 1 {
+			allFull = false
+		}
+	}
+	if !allFull {
+		fmt.Fprintf(&b, " d%.2f", c.Duty)
+	}
+	return b.String()
+}
+
+func clampI(x, lo, hi int) int {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// Enumerate calls fn for every user-accessible configuration of platform p:
+// all combinations of cores-per-socket, active sockets, hyperthreading,
+// memory controllers, and a single machine-wide speed setting (per-socket
+// asymmetric speeds are reachable by controllers but are not part of the
+// user-visible space, matching the paper's count of 1024). Enumeration
+// stops early if fn returns false.
+func Enumerate(p *Platform, fn func(Config) bool) {
+	htSettings := []bool{false}
+	if p.ThreadsPerCore > 1 {
+		htSettings = []bool{false, true}
+	}
+	for cores := 1; cores <= p.CoresPerSocket; cores++ {
+		for sockets := 1; sockets <= p.Sockets; sockets++ {
+			for _, ht := range htSettings {
+				for mc := 1; mc <= p.MemCtls; mc++ {
+					for f := 0; f < p.NumFreqSettings(); f++ {
+						if !fn(newConfig(p, cores, sockets, ht, mc, f)) {
+							return
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,320 @@
+// Package machine models a configurable multi-socket server: its tunable
+// resources (active cores per socket, active sockets, hyperthreading,
+// memory controllers, per-socket DVFS with TurboBoost) and a physics-style
+// power model.
+//
+// The reference platform mirrors Table 1 of the PUPiL paper: a dual-socket
+// Intel Xeon E5-2690 server with 8 cores per socket, 2-way hyperthreading,
+// 15 p-states from 1.2 to 2.9 GHz plus TurboBoost, one memory controller
+// per socket, and a 135 W thermal design power per socket — 1024
+// user-accessible configurations in total.
+package machine
+
+import (
+	"fmt"
+	"math"
+)
+
+// Platform describes the hardware resources and power characteristics of a
+// server. All power figures are in Watts, frequencies in GHz, bandwidth in
+// GB/s. The zero value is not usable; construct via E52690Server or fill in
+// every field.
+type Platform struct {
+	Name string
+
+	// Topology.
+	Sockets        int // number of processor sockets
+	CoresPerSocket int // physical cores per socket
+	ThreadsPerCore int // hardware threads per core (2 = hyperthreading)
+	MemCtls        int // memory controllers (one per socket on the reference box)
+
+	// DVFS. FreqsGHz lists the p-states in ascending order; TurboGHz is
+	// the opportunistic boost frequency above the highest p-state, or 0
+	// when the platform has no turbo.
+	FreqsGHz []float64
+	TurboGHz float64
+
+	// SocketTDP is the thermal design power per socket; the power model
+	// clamps sustained per-socket power at this value (thermal throttling).
+	SocketTDP float64
+
+	// Power model parameters.
+	UncoreActive     float64 // static power of a powered-on socket (uncore, caches, fabric)
+	SocketParked     float64 // residual power of a parked (package-sleep) socket
+	CoreIdle         float64 // power of an enabled but idle core
+	CoreCd           float64 // dynamic capacitance coefficient: Pdyn = CoreCd * V^2 * f per busy core
+	VoltBase         float64 // voltage at the lowest p-state
+	VoltSlope        float64 // dV/df above the lowest p-state, V per GHz
+	TurboVolt        float64 // voltage at TurboGHz
+	HTPowerFactor    float64 // multiplier on core dynamic power when both hardware threads are busy
+	StallPowerFactor float64 // fraction of dynamic power burned during memory-stall cycles
+	MemCtlIdle       float64 // static power per active memory controller
+	MemCtlDyn        float64 // additional controller power at full bandwidth utilization
+	BWPerCtlGBs      float64 // peak bandwidth per memory controller
+	PerCoreBWGBs     float64 // bandwidth a single core can draw before saturating
+
+	// Thermal, when non-nil, enables the package thermal model: the
+	// hardware protection that throttles the clock when the junction
+	// temperature reaches its limit. This is the dark-silicon constraint
+	// of the paper's introduction — a chip whose peak power exceeds its
+	// sustainable heat dissipation can hold peak speed only briefly.
+	Thermal *Thermal
+}
+
+// Thermal is a lumped RC junction model per socket: the junction heats
+// toward Ambient + P*Rth with time constant Rth*Cth, and the package
+// throttles (clock modulation by ThrottleDuty) at TjMax, releasing with
+// hysteresis.
+type Thermal struct {
+	RthCPerW     float64 // junction-to-ambient thermal resistance
+	CthJPerC     float64 // thermal capacitance
+	TjMaxC       float64 // throttle trigger temperature
+	AmbientC     float64
+	ThrottleDuty float64 // duty multiplier while throttling, in (0, 1)
+	HysteresisC  float64 // degrees below TjMax at which throttling releases
+}
+
+// SustainableWatts is the steady per-socket power at which the junction
+// just reaches TjMax — the chip's true sustainable dissipation.
+func (t *Thermal) SustainableWatts() float64 {
+	if t.RthCPerW <= 0 {
+		return 0
+	}
+	return (t.TjMaxC - t.AmbientC) / t.RthCPerW
+}
+
+// Validate reports whether the thermal model is self-consistent.
+func (t *Thermal) Validate() error {
+	switch {
+	case t.RthCPerW <= 0 || t.CthJPerC <= 0:
+		return fmt.Errorf("machine: thermal model needs positive Rth and Cth")
+	case t.TjMaxC <= t.AmbientC:
+		return fmt.Errorf("machine: TjMax %.1f C must exceed ambient %.1f C", t.TjMaxC, t.AmbientC)
+	case t.ThrottleDuty <= 0 || t.ThrottleDuty >= 1:
+		return fmt.Errorf("machine: throttle duty %.2f must be in (0, 1)", t.ThrottleDuty)
+	case t.HysteresisC < 0:
+		return fmt.Errorf("machine: negative hysteresis")
+	}
+	return nil
+}
+
+// E52690Server returns the reference dual-socket Xeon E5-2690 platform used
+// throughout the paper's evaluation (Table 1). The power constants are
+// calibrated so that: the full machine draws ~230-240 W flat out (caps of
+// 60-220 W span the constrained-to-nearly-unconstrained range); even the
+// lowest p-state with all cores and hyperthreads exceeds a 60 W total cap
+// (which is why Soft-DVFS has no feasible setting there); and sustained
+// per-socket power stays below the 135 W TDP for every workload, as the
+// paper observes.
+func E52690Server() *Platform {
+	freqs := make([]float64, 15)
+	for i := range freqs {
+		// 15 p-states evenly spaced over 1.2-2.9 GHz.
+		freqs[i] = 1.2 + float64(i)*(2.9-1.2)/14
+	}
+	return &Platform{
+		Name:           "2x Intel Xeon E5-2690 (SandyBridge)",
+		Sockets:        2,
+		CoresPerSocket: 8,
+		ThreadsPerCore: 2,
+		MemCtls:        2,
+		FreqsGHz:       freqs,
+		TurboGHz:       3.8,
+		SocketTDP:      135,
+
+		UncoreActive:     14.0,
+		SocketParked:     4.0,
+		CoreIdle:         0.4,
+		CoreCd:           2.65,
+		VoltBase:         0.85,
+		VoltSlope:        0.0882, // reaches ~1.0 V at 2.9 GHz
+		TurboVolt:        1.05,
+		HTPowerFactor:    1.15,
+		StallPowerFactor: 0.55,
+		MemCtlIdle:       1.5,
+		MemCtlDyn:        2.5,
+		BWPerCtlGBs:      40,
+		PerCoreBWGBs:     13,
+
+		// Server-class heatsink: sustainable dissipation (~140 W/socket)
+		// sits above TDP, so thermal throttling is a safety net, not an
+		// operating constraint.
+		Thermal: &Thermal{
+			RthCPerW:     0.5,
+			CthJPerC:     80,
+			TjMaxC:       95,
+			AmbientC:     25,
+			ThrottleDuty: 0.4,
+			HysteresisC:  5,
+		},
+	}
+}
+
+// MobileSoC returns a small single-socket platform modeled on the paper's
+// dark-silicon motivating example (Section 1): the Exynos 5 in the Samsung
+// Galaxy S4 has a ~5.5 W peak draw, nearly twice its sustainable heat
+// dissipation, so a power capping system is what keeps the phone usable.
+// Calibrated so the quad-core flat-out draw is roughly double a sustainable
+// ~2.8 W cap.
+func MobileSoC() *Platform {
+	freqs := make([]float64, 8)
+	for i := range freqs {
+		freqs[i] = 0.6 + float64(i)*(1.6-0.6)/7
+	}
+	return &Platform{
+		Name:           "quad-core mobile SoC (Exynos 5-class)",
+		Sockets:        1,
+		CoresPerSocket: 4,
+		ThreadsPerCore: 1,
+		MemCtls:        1,
+		FreqsGHz:       freqs,
+		TurboGHz:       1.9,
+		SocketTDP:      5.5,
+
+		UncoreActive:     0.5,
+		SocketParked:     0.1,
+		CoreIdle:         0.05,
+		CoreCd:           0.55,
+		VoltBase:         0.9,
+		VoltSlope:        0.25,
+		TurboVolt:        1.25,
+		HTPowerFactor:    1,
+		StallPowerFactor: 0.55,
+		MemCtlIdle:       0.15,
+		MemCtlDyn:        0.35,
+		BWPerCtlGBs:      8,
+		PerCoreBWGBs:     4,
+
+		// Passively cooled phone package: sustainable dissipation
+		// ~2.8 W against a ~5 W peak — the chip can hold peak speed for
+		// only about a second before the junction hits its limit
+		// (the paper's dark-silicon example).
+		Thermal: &Thermal{
+			RthCPerW:     19.6,
+			CthJPerC:     0.062,
+			TjMaxC:       85,
+			AmbientC:     30,
+			ThrottleDuty: 0.35,
+			HysteresisC:  6,
+		},
+	}
+}
+
+// Validate reports whether the platform description is internally
+// consistent.
+func (p *Platform) Validate() error {
+	switch {
+	case p.Sockets <= 0:
+		return fmt.Errorf("machine: platform %q has %d sockets", p.Name, p.Sockets)
+	case p.CoresPerSocket <= 0:
+		return fmt.Errorf("machine: platform %q has %d cores per socket", p.Name, p.CoresPerSocket)
+	case p.ThreadsPerCore <= 0:
+		return fmt.Errorf("machine: platform %q has %d threads per core", p.Name, p.ThreadsPerCore)
+	case p.MemCtls <= 0:
+		return fmt.Errorf("machine: platform %q has %d memory controllers", p.Name, p.MemCtls)
+	case len(p.FreqsGHz) == 0:
+		return fmt.Errorf("machine: platform %q has no p-states", p.Name)
+	}
+	for i := 1; i < len(p.FreqsGHz); i++ {
+		if p.FreqsGHz[i] <= p.FreqsGHz[i-1] {
+			return fmt.Errorf("machine: platform %q p-states not strictly ascending at index %d", p.Name, i)
+		}
+	}
+	if p.TurboGHz != 0 && p.TurboGHz <= p.FreqsGHz[len(p.FreqsGHz)-1] {
+		return fmt.Errorf("machine: platform %q turbo %.2f GHz not above highest p-state", p.Name, p.TurboGHz)
+	}
+	if p.Thermal != nil {
+		if err := p.Thermal.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NumFreqSettings returns the number of speed settings: the p-states plus
+// one for TurboBoost when present (16 on the reference platform).
+func (p *Platform) NumFreqSettings() int {
+	n := len(p.FreqsGHz)
+	if p.TurboGHz > 0 {
+		n++
+	}
+	return n
+}
+
+// FreqAt returns the frequency in GHz of speed setting idx, where settings
+// are ordered ascending and the last setting is turbo when present. Out of
+// range indices are clamped.
+func (p *Platform) FreqAt(idx int) float64 {
+	if idx < 0 {
+		idx = 0
+	}
+	if p.TurboGHz > 0 && idx >= len(p.FreqsGHz) {
+		return p.TurboGHz
+	}
+	if idx >= len(p.FreqsGHz) {
+		idx = len(p.FreqsGHz) - 1
+	}
+	return p.FreqsGHz[idx]
+}
+
+// BaseGHz returns the highest non-turbo frequency; workload base rates are
+// expressed at this speed.
+func (p *Platform) BaseGHz() float64 { return p.FreqsGHz[len(p.FreqsGHz)-1] }
+
+// MinGHz returns the lowest p-state frequency.
+func (p *Platform) MinGHz() float64 { return p.FreqsGHz[0] }
+
+// VoltAt returns the modeled core voltage at frequency f GHz, interpolating
+// the platform's affine V(f) curve; turbo uses its own operating point.
+func (p *Platform) VoltAt(f float64) float64 {
+	if p.TurboGHz > 0 && f > p.BaseGHz() {
+		// Interpolate between the top p-state voltage and turbo voltage.
+		top := p.VoltBase + p.VoltSlope*(p.BaseGHz()-p.MinGHz())
+		frac := (f - p.BaseGHz()) / (p.TurboGHz - p.BaseGHz())
+		return top + frac*(p.TurboVolt-top)
+	}
+	return p.VoltBase + p.VoltSlope*(f-p.MinGHz())
+}
+
+// CoreDynPower returns the dynamic power of one fully-busy core at
+// frequency f GHz.
+func (p *Platform) CoreDynPower(f float64) float64 {
+	v := p.VoltAt(f)
+	return p.CoreCd * v * v * f
+}
+
+// HWThreads returns the total hardware threads of the platform (32 on the
+// reference box).
+func (p *Platform) HWThreads() int {
+	return p.Sockets * p.CoresPerSocket * p.ThreadsPerCore
+}
+
+// TotalBWGBs returns peak memory bandwidth with n controllers active.
+func (p *Platform) TotalBWGBs(n int) float64 {
+	if n > p.MemCtls {
+		n = p.MemCtls
+	}
+	if n < 1 {
+		n = 1
+	}
+	return float64(n) * p.BWPerCtlGBs
+}
+
+// NumConfigurations returns the size of the user-accessible configuration
+// space explored by the Optimal oracle: cores-per-socket x sockets x
+// hyperthreading x memory controllers x speed settings. On the reference
+// platform this is 8*2*2*2*16 = 1024, matching Table 1.
+func (p *Platform) NumConfigurations() int {
+	return p.CoresPerSocket * p.Sockets * minInt(p.ThreadsPerCore, 2) * p.MemCtls * p.NumFreqSettings()
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func clampF(x, lo, hi float64) float64 {
+	return math.Min(hi, math.Max(lo, x))
+}

@@ -1,0 +1,86 @@
+package machine
+
+// SocketLoad summarizes the activity the workload imposes on one socket; it
+// is produced by the system evaluator and consumed by the power model.
+type SocketLoad struct {
+	// BusyCores is the average number of cores with at least one busy
+	// hardware thread, in [0, ActiveCores]. Spinning threads count as
+	// busy: a core retiring test-and-set loops burns full dynamic power.
+	BusyCores float64
+	// HTShare is the fraction of busy core-time during which both
+	// hardware threads of a core are occupied, in [0, 1]. Only meaningful
+	// when the configuration enables hyperthreading.
+	HTShare float64
+	// StallFrac is the fraction of busy cycles stalled on memory, in
+	// [0, 1]. Stalled cycles burn StallPowerFactor of full dynamic power.
+	StallFrac float64
+	// BWGBs is the memory bandwidth drawn through this socket's
+	// controller, used for controller dynamic power.
+	BWGBs float64
+}
+
+// SocketPower returns the modeled power of socket s under configuration c
+// and load. Sustained power is clamped at the socket TDP (the package
+// thermally throttles rather than exceed it).
+func (p *Platform) SocketPower(c Config, s int, load SocketLoad) float64 {
+	if s >= c.Sockets {
+		w := p.SocketParked
+		// Using a parked socket's memory controller (interleaved
+		// allocation) keeps part of its uncore awake.
+		if s < c.MemCtls {
+			util := clampF(load.BWGBs/p.BWPerCtlGBs, 0, 1)
+			w += p.MemCtlIdle + util*p.MemCtlDyn
+		}
+		return w
+	}
+	f := c.EffectiveGHz(p, s)
+	busy := clampF(load.BusyCores, 0, float64(c.Cores))
+	idle := float64(c.Cores) - busy
+
+	dyn := p.CoreDynPower(f)
+	if c.HT {
+		// Both-threads-busy cores draw HTPowerFactor of single-thread
+		// dynamic power; blend by the share of time HT is exercised.
+		dyn *= 1 + (p.HTPowerFactor-1)*clampF(load.HTShare, 0, 1)
+	}
+	// Memory-stalled cycles burn a fraction of full dynamic power.
+	stall := clampF(load.StallFrac, 0, 1)
+	dyn *= (1 - stall) + stall*p.StallPowerFactor
+
+	w := p.UncoreActive + busy*dyn + idle*p.CoreIdle
+
+	// Controller power accrues on sockets whose controller is in use.
+	// Controllers are brought up in socket order: MemCtls=1 means only
+	// socket 0's controller is active.
+	if s < c.MemCtls {
+		util := clampF(load.BWGBs/p.BWPerCtlGBs, 0, 1)
+		w += p.MemCtlIdle + util*p.MemCtlDyn
+	}
+
+	if w > p.SocketTDP {
+		w = p.SocketTDP
+	}
+	return w
+}
+
+// Power returns total machine power and the per-socket breakdown. loads may
+// be shorter than the socket count; missing entries are treated as idle.
+func (p *Platform) Power(c Config, loads []SocketLoad) (total float64, perSocket []float64) {
+	perSocket = make([]float64, p.Sockets)
+	for s := 0; s < p.Sockets; s++ {
+		var l SocketLoad
+		if s < len(loads) {
+			l = loads[s]
+		}
+		perSocket[s] = p.SocketPower(c, s, l)
+		total += perSocket[s]
+	}
+	return total, perSocket
+}
+
+// IdlePower returns the machine's power with every active core idle, the
+// floor any capping system can reach without parking sockets.
+func (p *Platform) IdlePower(c Config) float64 {
+	total, _ := p.Power(c, make([]SocketLoad, p.Sockets))
+	return total
+}

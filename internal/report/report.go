@@ -1,0 +1,178 @@
+// Package report renders experiment results as aligned text tables, CSV,
+// and simple ASCII charts for terminal consumption — the reproduction's
+// stand-in for the paper's figures.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table is a titled grid of cells.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	for len(cells) < len(t.Columns) {
+		cells = append(cells, "")
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i >= len(widths) {
+				break
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (no quoting; callers do
+// not put commas in cells).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Columns, ","))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// F formats a float with the given number of decimals; NaN and infinities
+// render as "-" (the paper's dash for missing entries).
+func F(v float64, decimals int) string {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return "-"
+	}
+	return fmt.Sprintf("%.*f", decimals, v)
+}
+
+// Bars renders a one-series horizontal ASCII bar chart with the given
+// width budget; values must be non-negative.
+func Bars(title string, labels []string, values []float64, width int) string {
+	if width <= 0 {
+		width = 50
+	}
+	max := 0.0
+	for _, v := range values {
+		if v > max {
+			max = v
+		}
+	}
+	lw := 0
+	for _, l := range labels {
+		if len(l) > lw {
+			lw = len(l)
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	for i, v := range values {
+		n := 0
+		if max > 0 {
+			n = int(math.Round(v / max * float64(width)))
+		}
+		label := ""
+		if i < len(labels) {
+			label = labels[i]
+		}
+		fmt.Fprintf(&b, "%-*s |%s %s\n", lw, label, strings.Repeat("#", n), F(v, 3))
+	}
+	return b.String()
+}
+
+// LogBars renders bars on a log10 scale, for spans like settling times
+// (Fig. 4 uses a logarithmic y-axis). Non-positive values render empty.
+func LogBars(title string, labels []string, values []float64, width int) string {
+	logs := make([]float64, len(values))
+	min, max := math.Inf(1), math.Inf(-1)
+	for i, v := range values {
+		if v > 0 {
+			logs[i] = math.Log10(v)
+			min = math.Min(min, logs[i])
+			max = math.Max(max, logs[i])
+		} else {
+			logs[i] = math.NaN()
+		}
+	}
+	if math.IsInf(min, 1) {
+		return title + "\n(no data)\n"
+	}
+	span := max - min
+	if span <= 0 {
+		span = 1
+	}
+	if width <= 0 {
+		width = 50
+	}
+	lw := 0
+	for _, l := range labels {
+		if len(l) > lw {
+			lw = len(l)
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s (log scale)\n", title)
+	}
+	for i, lg := range logs {
+		label := ""
+		if i < len(labels) {
+			label = labels[i]
+		}
+		if math.IsNaN(lg) {
+			fmt.Fprintf(&b, "%-*s | -\n", lw, label)
+			continue
+		}
+		n := 1 + int(math.Round((lg-min)/span*float64(width-1)))
+		fmt.Fprintf(&b, "%-*s |%s %s\n", lw, label, strings.Repeat("#", n), F(values[i], 1))
+	}
+	return b.String()
+}

@@ -1,0 +1,230 @@
+// Package resource abstracts the tunable knobs of a platform — the
+// "ordered resources" of the paper's decision framework. Each Resource has
+// a linearly ordered set of settings (0 = lowest), knows how to apply a
+// setting to a machine configuration, and declares how long its effects
+// take to become observable (r.d in Algorithms 1 and 2: thread migration is
+// fast, NUMA page migration is slow).
+//
+// The package also implements Algorithm 2, the calibration procedure that
+// orders resources by the performance impact each delivers when activated
+// individually from the minimal configuration, with DVFS pinned to the end
+// of the order as the fine-grained power tuner.
+package resource
+
+import (
+	"fmt"
+	"time"
+
+	"pupil/internal/machine"
+	"pupil/internal/sim"
+)
+
+// Resource is one tunable knob.
+type Resource interface {
+	// Name identifies the resource ("cores", "sockets", ...).
+	Name() string
+	// Settings returns the number of ordered settings; setting 0 is the
+	// lowest allocation and Settings()-1 the highest.
+	Settings() int
+	// Apply mutates cfg so this resource is at the given setting.
+	Apply(cfg *machine.Config, setting int)
+	// Current reads this resource's setting from cfg.
+	Current(cfg machine.Config) int
+	// Delay is the time from actuation until effects are observable.
+	Delay() time.Duration
+}
+
+// The standard resources of the reference platform (Table 1/Table 2).
+
+type coresResource struct{ p *machine.Platform }
+
+func (r coresResource) Name() string  { return "cores" }
+func (r coresResource) Settings() int { return r.p.CoresPerSocket }
+func (r coresResource) Apply(cfg *machine.Config, s int) {
+	cfg.Cores = clamp(s+1, 1, r.p.CoresPerSocket)
+}
+func (r coresResource) Current(cfg machine.Config) int { return cfg.Cores - 1 }
+func (r coresResource) Delay() time.Duration           { return 500 * time.Millisecond }
+
+type socketsResource struct{ p *machine.Platform }
+
+func (r socketsResource) Name() string  { return "sockets" }
+func (r socketsResource) Settings() int { return r.p.Sockets }
+func (r socketsResource) Apply(cfg *machine.Config, s int) {
+	cfg.Sockets = clamp(s+1, 1, r.p.Sockets)
+}
+func (r socketsResource) Current(cfg machine.Config) int { return cfg.Sockets - 1 }
+func (r socketsResource) Delay() time.Duration           { return 500 * time.Millisecond }
+
+type htResource struct{ p *machine.Platform }
+
+func (r htResource) Name() string  { return "hyperthreads" }
+func (r htResource) Settings() int { return 2 }
+func (r htResource) Apply(cfg *machine.Config, s int) {
+	cfg.HT = s > 0 && r.p.ThreadsPerCore > 1
+}
+func (r htResource) Current(cfg machine.Config) int {
+	if cfg.HT {
+		return 1
+	}
+	return 0
+}
+func (r htResource) Delay() time.Duration { return 500 * time.Millisecond }
+
+type memCtlResource struct{ p *machine.Platform }
+
+func (r memCtlResource) Name() string  { return "memctl" }
+func (r memCtlResource) Settings() int { return r.p.MemCtls }
+func (r memCtlResource) Apply(cfg *machine.Config, s int) {
+	cfg.MemCtls = clamp(s+1, 1, r.p.MemCtls)
+}
+func (r memCtlResource) Current(cfg machine.Config) int { return cfg.MemCtls - 1 }
+
+// Delay is long: changing the memory-controller set migrates pages across
+// NUMA nodes before effects stabilize.
+func (r memCtlResource) Delay() time.Duration { return 2 * time.Second }
+
+type dvfsResource struct{ p *machine.Platform }
+
+func (r dvfsResource) Name() string  { return "dvfs" }
+func (r dvfsResource) Settings() int { return r.p.NumFreqSettings() }
+func (r dvfsResource) Apply(cfg *machine.Config, s int) {
+	s = clamp(s, 0, r.p.NumFreqSettings()-1)
+	for i := range cfg.Freq {
+		cfg.Freq[i] = s
+	}
+}
+func (r dvfsResource) Current(cfg machine.Config) int {
+	if len(cfg.Freq) == 0 {
+		return 0
+	}
+	return cfg.Freq[0]
+}
+func (r dvfsResource) Delay() time.Duration { return 10 * time.Millisecond }
+
+// Cores, Sockets, HyperThreads, MemCtls and DVFS construct the standard
+// resources for a platform.
+func Cores(p *machine.Platform) Resource        { return coresResource{p} }
+func Sockets(p *machine.Platform) Resource      { return socketsResource{p} }
+func HyperThreads(p *machine.Platform) Resource { return htResource{p} }
+func MemCtls(p *machine.Platform) Resource      { return memCtlResource{p} }
+func DVFS(p *machine.Platform) Resource         { return dvfsResource{p} }
+
+// Standard returns all five standard resources, unordered.
+func Standard(p *machine.Platform) []Resource {
+	return []Resource{Cores(p), Sockets(p), HyperThreads(p), MemCtls(p), DVFS(p)}
+}
+
+// NonDVFS returns the standard resources excluding DVFS — the set PUPiL's
+// software half manages while hardware owns voltage and frequency.
+func NonDVFS(p *machine.Platform) []Resource {
+	return []Resource{Cores(p), Sockets(p), HyperThreads(p), MemCtls(p)}
+}
+
+// IsDVFS reports whether r is the speed knob (excluded from ordering and
+// appended last per Algorithm 2).
+func IsDVFS(r Resource) bool {
+	_, ok := r.(dvfsResource)
+	return ok
+}
+
+// Measure is the feedback oracle used during calibration: configure the
+// machine as cfg, wait for effects, and return (performance, power).
+type Measure func(cfg machine.Config) (perf, power float64)
+
+// Impact records one resource's calibration measurement for Table 2.
+type Impact struct {
+	Resource string
+	Settings int
+	// Speedup is perf at the highest setting over perf at the lowest
+	// when toggled alone from the minimal configuration.
+	Speedup float64
+	// Powerup is the analogous power increase.
+	Powerup float64
+}
+
+// Order implements Algorithm 2: starting from the minimal configuration it
+// visits the non-DVFS resources in random order, measures each resource's
+// individual impact (set to highest, measure, return to lowest), sorts by
+// impact descending, and appends DVFS last. It returns the ordered
+// resources together with the Table 2 impact report (which includes DVFS,
+// measured the same way, for completeness).
+func Order(p *machine.Platform, resources []Resource, measure Measure, rng *sim.RNG) ([]Resource, []Impact, error) {
+	var tunable []Resource
+	var dvfs []Resource
+	for _, r := range resources {
+		if r.Settings() < 2 {
+			return nil, nil, fmt.Errorf("resource: %s has %d settings; need at least 2", r.Name(), r.Settings())
+		}
+		if IsDVFS(r) {
+			dvfs = append(dvfs, r)
+		} else {
+			tunable = append(tunable, r)
+		}
+	}
+
+	minimal := machine.MinimalConfig(p)
+	basePerf, basePower := measure(minimal)
+	if basePerf <= 0 {
+		return nil, nil, fmt.Errorf("resource: calibration baseline performance %g must be positive", basePerf)
+	}
+
+	// Visit disordered resources in random order (Algorithm 2's
+	// RemoveNext on the unordered set).
+	perm := rng.Perm(len(tunable))
+	impacts := make(map[string]Impact, len(resources))
+	for _, idx := range perm {
+		r := tunable[idx]
+		cfg := minimal.Clone()
+		r.Apply(&cfg, r.Settings()-1)
+		perf, power := measure(cfg)
+		impacts[r.Name()] = Impact{
+			Resource: r.Name(),
+			Settings: r.Settings(),
+			Speedup:  perf / basePerf,
+			Powerup:  power / basePower,
+		}
+	}
+	for _, r := range dvfs {
+		cfg := minimal.Clone()
+		r.Apply(&cfg, r.Settings()-1)
+		perf, power := measure(cfg)
+		impacts[r.Name()] = Impact{
+			Resource: r.Name(),
+			Settings: r.Settings(),
+			Speedup:  perf / basePerf,
+			Powerup:  power / basePower,
+		}
+	}
+
+	// Sort tunable resources by measured speedup, descending; stable on
+	// names for determinism when speedups tie.
+	ordered := append([]Resource(nil), tunable...)
+	for i := 1; i < len(ordered); i++ {
+		for j := i; j > 0; j-- {
+			a, b := impacts[ordered[j-1].Name()], impacts[ordered[j].Name()]
+			if b.Speedup > a.Speedup || (b.Speedup == a.Speedup && ordered[j].Name() < ordered[j-1].Name()) {
+				ordered[j-1], ordered[j] = ordered[j], ordered[j-1]
+			} else {
+				break
+			}
+		}
+	}
+	ordered = append(ordered, dvfs...)
+
+	report := make([]Impact, 0, len(ordered))
+	for _, r := range ordered {
+		report = append(report, impacts[r.Name()])
+	}
+	return ordered, report, nil
+}
+
+func clamp(x, lo, hi int) int {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

@@ -1,0 +1,186 @@
+package resource
+
+import (
+	"testing"
+	"time"
+
+	"pupil/internal/machine"
+	"pupil/internal/sim"
+	"pupil/internal/system"
+	"pupil/internal/workload"
+)
+
+func calibMeasure(t *testing.T, p *machine.Platform) Measure {
+	t.Helper()
+	apps, err := workload.NewInstances([]workload.Spec{{Profile: workload.Calibration(), Threads: 32}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return func(cfg machine.Config) (perf, power float64) {
+		ev := system.Evaluate(p, cfg, apps, 0)
+		return ev.TotalRate(), ev.PowerTotal
+	}
+}
+
+func TestStandardResourceSettingCounts(t *testing.T) {
+	p := machine.E52690Server()
+	want := map[string]int{
+		"cores": 8, "sockets": 2, "hyperthreads": 2, "memctl": 2, "dvfs": 16,
+	}
+	for _, r := range Standard(p) {
+		if got := r.Settings(); got != want[r.Name()] {
+			t.Errorf("%s has %d settings, want %d", r.Name(), got, want[r.Name()])
+		}
+	}
+}
+
+func TestApplyCurrentRoundTrip(t *testing.T) {
+	p := machine.E52690Server()
+	for _, r := range Standard(p) {
+		for s := 0; s < r.Settings(); s++ {
+			cfg := machine.MinimalConfig(p)
+			r.Apply(&cfg, s)
+			if got := r.Current(cfg); got != s {
+				t.Errorf("%s: Apply(%d) then Current = %d", r.Name(), s, got)
+			}
+			norm := cfg.Normalize(p)
+			if !cfg.Equal(norm) {
+				t.Errorf("%s: Apply(%d) produced invalid config %v", r.Name(), s, cfg)
+			}
+		}
+	}
+}
+
+func TestApplyClampsOutOfRange(t *testing.T) {
+	p := machine.E52690Server()
+	for _, r := range Standard(p) {
+		cfg := machine.MinimalConfig(p)
+		r.Apply(&cfg, 999)
+		if got := r.Current(cfg); got != r.Settings()-1 {
+			t.Errorf("%s: Apply(999) landed on %d, want top setting %d", r.Name(), got, r.Settings()-1)
+		}
+	}
+}
+
+func TestDVFSAppliesToAllSockets(t *testing.T) {
+	p := machine.E52690Server()
+	cfg := machine.MaxConfig(p)
+	DVFS(p).Apply(&cfg, 3)
+	for s, f := range cfg.Freq {
+		if f != 3 {
+			t.Errorf("socket %d freq = %d, want 3", s, f)
+		}
+	}
+}
+
+func TestIsDVFS(t *testing.T) {
+	p := machine.E52690Server()
+	if !IsDVFS(DVFS(p)) {
+		t.Error("IsDVFS(DVFS) = false")
+	}
+	if IsDVFS(Cores(p)) {
+		t.Error("IsDVFS(Cores) = true")
+	}
+}
+
+func TestMemCtlSlowestDelay(t *testing.T) {
+	p := machine.E52690Server()
+	mc := MemCtls(p).Delay()
+	for _, r := range Standard(p) {
+		if r.Name() != "memctl" && r.Delay() > mc {
+			t.Errorf("%s delay %v exceeds memctl's %v; NUMA migration should be slowest", r.Name(), r.Delay(), mc)
+		}
+	}
+	if DVFS(p).Delay() > 50*time.Millisecond {
+		t.Errorf("dvfs delay %v should be near-instant", DVFS(p).Delay())
+	}
+}
+
+// TestOrderMatchesTable2 checks the calibrated resource ordering of
+// Table 2: cores > sockets > hyperthreads > memctl, with DVFS appended
+// last regardless of its measured impact.
+func TestOrderMatchesTable2(t *testing.T) {
+	p := machine.E52690Server()
+	ordered, report, err := Order(p, Standard(p), calibMeasure(t, p), sim.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"cores", "sockets", "hyperthreads", "memctl", "dvfs"}
+	if len(ordered) != len(want) {
+		t.Fatalf("ordered %d resources, want %d", len(ordered), len(want))
+	}
+	for i, name := range want {
+		if ordered[i].Name() != name {
+			got := make([]string, len(ordered))
+			for j, r := range ordered {
+				got[j] = r.Name()
+			}
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	// Impact sanity: cores dominate; every activation costs power.
+	byName := map[string]Impact{}
+	for _, im := range report {
+		byName[im.Resource] = im
+	}
+	if byName["cores"].Speedup < 4 {
+		t.Errorf("cores speedup = %.2f, want > 4 (paper: 7.9)", byName["cores"].Speedup)
+	}
+	if byName["sockets"].Speedup < 1.5 {
+		t.Errorf("sockets speedup = %.2f, want > 1.5 (paper: 2.0)", byName["sockets"].Speedup)
+	}
+	if byName["hyperthreads"].Speedup < 1.3 {
+		t.Errorf("hyperthreads speedup = %.2f, want > 1.3 (paper: 1.9)", byName["hyperthreads"].Speedup)
+	}
+	if byName["dvfs"].Speedup < 2 {
+		t.Errorf("dvfs speedup = %.2f, want > 2 (paper: 3.2)", byName["dvfs"].Speedup)
+	}
+	for _, im := range report {
+		if im.Powerup < 1 {
+			t.Errorf("%s powerup = %.2f, want >= 1", im.Resource, im.Powerup)
+		}
+	}
+}
+
+// TestOrderDeterministicAcrossVisitOrder: Algorithm 2 visits resources in
+// random order, but the resulting ranking must not depend on the visit
+// order (each resource is measured in isolation).
+func TestOrderDeterministicAcrossVisitOrder(t *testing.T) {
+	p := machine.E52690Server()
+	m := calibMeasure(t, p)
+	var prev []string
+	for seed := uint64(0); seed < 5; seed++ {
+		ordered, _, err := Order(p, Standard(p), m, sim.NewRNG(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		names := make([]string, len(ordered))
+		for i, r := range ordered {
+			names[i] = r.Name()
+		}
+		if prev != nil {
+			for i := range names {
+				if names[i] != prev[i] {
+					t.Fatalf("ordering depends on visit order: %v vs %v", names, prev)
+				}
+			}
+		}
+		prev = names
+	}
+}
+
+func TestOrderRejectsDegenerateResource(t *testing.T) {
+	p := machine.E52690Server()
+	bad := fixedResource{}
+	if _, _, err := Order(p, []Resource{bad}, calibMeasure(t, p), sim.NewRNG(1)); err == nil {
+		t.Error("Order accepted a single-setting resource")
+	}
+}
+
+type fixedResource struct{}
+
+func (fixedResource) Name() string               { return "fixed" }
+func (fixedResource) Settings() int              { return 1 }
+func (fixedResource) Apply(*machine.Config, int) {}
+func (fixedResource) Current(machine.Config) int { return 0 }
+func (fixedResource) Delay() time.Duration       { return time.Millisecond }

@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// World is the ground-truth system the kernel advances: at each physics
+// tick the kernel calls Step, and the world integrates progress and energy
+// for the elapsed dt.
+type World interface {
+	Step(now, dt time.Duration)
+}
+
+// Ticker is a periodic activity layered on top of the world: a telemetry
+// sampler, the RAPL firmware loop, or a power-capping controller. Tick fires
+// whenever simulated time crosses a multiple of Period.
+type Ticker interface {
+	Period() time.Duration
+	Tick(now time.Duration)
+}
+
+// Runner advances a World and a set of Tickers through simulated time.
+// Tickers fire in registration order at every multiple of their period,
+// after the physics step for that instant, which makes runs reproducible:
+// sensors (registered first) always observe state before controllers
+// (registered later) act on it.
+type Runner struct {
+	Clock   *Clock
+	World   World
+	tickers []Ticker
+	periods []time.Duration
+}
+
+// NewRunner returns a runner over world with a fresh clock.
+func NewRunner(world World) *Runner {
+	return &Runner{Clock: &Clock{}, World: world}
+}
+
+// Register adds a ticker. Periods are rounded up to the kernel Tick; a
+// non-positive period panics because a ticker that never fires (or fires
+// infinitely often) is a configuration bug.
+func (r *Runner) Register(t Ticker) {
+	p := t.Period()
+	if p <= 0 {
+		panic(fmt.Sprintf("sim: ticker with non-positive period %v", p))
+	}
+	if rem := p % Tick; rem != 0 {
+		p += Tick - rem
+	}
+	r.tickers = append(r.tickers, t)
+	r.periods = append(r.periods, p)
+}
+
+// Run advances the simulation by d. The world steps once per kernel Tick,
+// then every ticker whose period divides the new time fires.
+func (r *Runner) Run(d time.Duration) {
+	r.RunUntil(d, nil)
+}
+
+// RunUntil advances the simulation by at most d, stopping early the first
+// time stop (evaluated after each tick) returns true. A nil stop never
+// stops early.
+func (r *Runner) RunUntil(d time.Duration, stop func(now time.Duration) bool) {
+	end := r.Clock.Now() + d
+	for r.Clock.Now() < end {
+		r.Clock.Advance(Tick)
+		now := r.Clock.Now()
+		if r.World != nil {
+			r.World.Step(now, Tick)
+		}
+		for i, t := range r.tickers {
+			if now%r.periods[i] == 0 {
+				t.Tick(now)
+			}
+		}
+		if stop != nil && stop(now) {
+			return
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Sample is one timestamped measurement in a Series.
+type Sample struct {
+	T time.Duration
+	V float64
+}
+
+// Series is an append-only time series, e.g. a power or performance trace.
+type Series struct {
+	Name    string
+	Samples []Sample
+}
+
+// NewSeries returns an empty named series.
+func NewSeries(name string) *Series { return &Series{Name: name} }
+
+// Add appends a sample. Samples must be appended in non-decreasing time
+// order; Add panics otherwise because an out-of-order trace indicates a
+// kernel bug.
+func (s *Series) Add(t time.Duration, v float64) {
+	if n := len(s.Samples); n > 0 && t < s.Samples[n-1].T {
+		panic(fmt.Sprintf("sim: series %q sample at %v precedes last sample at %v",
+			s.Name, t, s.Samples[n-1].T))
+	}
+	s.Samples = append(s.Samples, Sample{T: t, V: v})
+}
+
+// Len reports the number of samples.
+func (s *Series) Len() int { return len(s.Samples) }
+
+// Last returns the most recent sample, or a zero Sample when empty.
+func (s *Series) Last() Sample {
+	if len(s.Samples) == 0 {
+		return Sample{}
+	}
+	return s.Samples[len(s.Samples)-1]
+}
+
+// Between returns the samples with from <= T < to. The returned slice
+// aliases the series storage and must not be mutated.
+func (s *Series) Between(from, to time.Duration) []Sample {
+	lo := sort.Search(len(s.Samples), func(i int) bool { return s.Samples[i].T >= from })
+	hi := sort.Search(len(s.Samples), func(i int) bool { return s.Samples[i].T >= to })
+	return s.Samples[lo:hi]
+}
+
+// MeanBetween averages sample values with from <= T < to. It returns 0 when
+// the window contains no samples.
+func (s *Series) MeanBetween(from, to time.Duration) float64 {
+	w := s.Between(from, to)
+	if len(w) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, sm := range w {
+		sum += sm.V
+	}
+	return sum / float64(len(w))
+}
+
+// MaxBetween returns the maximum sample value with from <= T < to, or
+// negative infinity when the window is empty.
+func (s *Series) MaxBetween(from, to time.Duration) float64 {
+	w := s.Between(from, to)
+	m := math.Inf(-1)
+	for _, sm := range w {
+		if sm.V > m {
+			m = sm.V
+		}
+	}
+	return m
+}
+
+// CSV renders the series as two-column CSV (seconds, value) for external
+// plotting.
+func (s *Series) CSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "t_seconds,%s\n", s.Name)
+	for _, sm := range s.Samples {
+		fmt.Fprintf(&b, "%.4f,%.6g\n", sm.T.Seconds(), sm.V)
+	}
+	return b.String()
+}

@@ -1,0 +1,38 @@
+package system
+
+// Exploratory probes used while calibrating the contention model. They only
+// log (never fail), and are skipped in -short mode.
+
+import (
+	"testing"
+
+	"pupil/internal/machine"
+)
+
+func TestProbeObliviousMix8(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration probe")
+	}
+	p := plat()
+	names := []string{"kmeans", "dijkstra", "x264", "STREAM"}
+	as := apps(t, 32, names...)
+	report := func(label string, base machine.Config) {
+		ev := bestUnderCap(p, base, as, 140)
+		t.Logf("%-28s power=%6.1f rate=%6.2f spin=%.2f bw=%5.1f rates=%v",
+			label, ev.PowerTotal, ev.TotalRate(), ev.SpinFrac, ev.MemBWGBs, fmtRates(ev.Rates))
+	}
+	report("max (16c 2s HT mc2)", machine.MaxConfig(p))
+	report("16c 2s noHT mc2", cfg(p, 8, 2, false, 2, 14))
+	report("8c 1s noHT mc2", cfg(p, 8, 1, false, 2, 14))
+	report("8c 1s HT mc2", cfg(p, 8, 1, true, 2, 14))
+	report("4c 2s noHT mc2", cfg(p, 4, 2, false, 2, 14))
+	report("6c 1s noHT mc2", cfg(p, 6, 1, false, 2, 14))
+}
+
+func fmtRates(rs []float64) []float64 {
+	out := make([]float64, len(rs))
+	for i, r := range rs {
+		out[i] = float64(int(r*100)) / 100
+	}
+	return out
+}

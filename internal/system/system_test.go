@@ -1,0 +1,379 @@
+package system
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pupil/internal/machine"
+	"pupil/internal/workload"
+)
+
+func plat() *machine.Platform { return machine.E52690Server() }
+
+func apps(t *testing.T, threads int, names ...string) []*workload.Instance {
+	t.Helper()
+	specs := make([]workload.Spec, len(names))
+	for i, n := range names {
+		p, err := workload.ByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs[i] = workload.Spec{Profile: p, Threads: threads}
+	}
+	out, err := workload.NewInstances(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func cfg(p *machine.Platform, cores, sockets int, ht bool, mc, freq int) machine.Config {
+	c := machine.Config{Cores: cores, Sockets: sockets, HT: ht, MemCtls: mc}.Normalize(p)
+	for s := range c.Freq {
+		c.Freq[s] = freq
+	}
+	return c
+}
+
+func TestEvaluateEmptySystemIsIdle(t *testing.T) {
+	p := plat()
+	ev := Evaluate(p, machine.MaxConfig(p), nil, 0)
+	if ev.TotalRate() != 0 {
+		t.Errorf("empty system has rate %g", ev.TotalRate())
+	}
+	if ev.PowerTotal <= 0 {
+		t.Errorf("empty system should still draw idle power, got %g", ev.PowerTotal)
+	}
+}
+
+func TestRateGrowsWithFrequencyForComputeApp(t *testing.T) {
+	p := plat()
+	as := apps(t, 32, "swaptions")
+	prev := 0.0
+	for f := 0; f < p.NumFreqSettings(); f++ {
+		ev := Evaluate(p, cfg(p, 8, 2, true, 2, f), as, 0)
+		if ev.Rates[0] <= prev {
+			t.Fatalf("swaptions rate not increasing at speed %d: %g after %g", f, ev.Rates[0], prev)
+		}
+		prev = ev.Rates[0]
+	}
+}
+
+func TestRateGrowsWithCoresForScalableApp(t *testing.T) {
+	p := plat()
+	as := apps(t, 32, "blackscholes")
+	prev := 0.0
+	for cores := 1; cores <= 8; cores++ {
+		ev := Evaluate(p, cfg(p, cores, 2, false, 2, 14), as, 0)
+		if ev.Rates[0] <= prev {
+			t.Fatalf("blackscholes rate not increasing at %d cores: %g after %g", cores, ev.Rates[0], prev)
+		}
+		prev = ev.Rates[0]
+	}
+}
+
+// TestKmeansRetrogradeScaling reproduces the paper's kmeans finding: adding
+// the second socket reduces performance because inter-socket communication
+// becomes the bottleneck, while power goes up.
+func TestKmeansRetrogradeScaling(t *testing.T) {
+	p := plat()
+	as := apps(t, 32, "kmeans")
+	one := Evaluate(p, cfg(p, 8, 1, true, 1, 14), as, 0)
+	two := Evaluate(p, cfg(p, 8, 2, true, 2, 14), as, 0)
+	if two.Rates[0] >= one.Rates[0] {
+		t.Errorf("kmeans on 2 sockets (%g) should be slower than 1 socket (%g)", two.Rates[0], one.Rates[0])
+	}
+	if two.PowerTotal <= one.PowerTotal {
+		t.Errorf("kmeans on 2 sockets should burn more power (%g vs %g)", two.PowerTotal, one.PowerTotal)
+	}
+}
+
+// TestX264HyperthreadingHurts reproduces the motivational example: with
+// hyperthreads x264 consumes more power and loses a little performance.
+func TestX264HyperthreadingHurts(t *testing.T) {
+	p := plat()
+	as := apps(t, 32, "x264")
+	htOff := Evaluate(p, cfg(p, 8, 2, false, 2, 14), as, 0)
+	htOn := Evaluate(p, cfg(p, 8, 2, true, 2, 14), as, 0)
+	if htOn.Rates[0] >= htOff.Rates[0] {
+		t.Errorf("x264 with HT (%g) should be slower than without (%g)", htOn.Rates[0], htOff.Rates[0])
+	}
+	if htOn.PowerTotal <= htOff.PowerTotal {
+		t.Errorf("x264 with HT should burn more power (%g vs %g)", htOn.PowerTotal, htOff.PowerTotal)
+	}
+}
+
+// TestStreamSaturatesBandwidth: STREAM reaches most of its peak with a few
+// cores; doubling cores past saturation burns power for <10% more speed.
+func TestStreamSaturatesBandwidth(t *testing.T) {
+	p := plat()
+	as := apps(t, 32, "STREAM")
+	few := Evaluate(p, cfg(p, 4, 2, false, 2, 14), as, 0)
+	all := Evaluate(p, cfg(p, 8, 2, false, 2, 14), as, 0)
+	if all.Rates[0] > few.Rates[0]*1.15 {
+		t.Errorf("STREAM at 16 cores (%g) should be within 15%% of 8 cores (%g)", all.Rates[0], few.Rates[0])
+	}
+	if all.PowerTotal <= few.PowerTotal {
+		t.Errorf("extra cores should burn more power")
+	}
+	if all.MemBWGBs < 0.75*p.TotalBWGBs(2) {
+		t.Errorf("STREAM achieved %g GB/s, want near peak %g", all.MemBWGBs, p.TotalBWGBs(2))
+	}
+}
+
+func TestStreamBandwidthHighest(t *testing.T) {
+	p := plat()
+	c := cfg(p, 8, 2, false, 2, 14)
+	stream := Evaluate(p, c, apps(t, 32, "STREAM"), 0).MemBWGBs
+	for _, name := range workload.Names() {
+		if name == "STREAM" {
+			continue
+		}
+		bw := Evaluate(p, c, apps(t, 32, name), 0).MemBWGBs
+		if bw >= stream {
+			t.Errorf("%s bandwidth %g >= STREAM's %g", name, bw, stream)
+		}
+	}
+}
+
+func TestDijkstraLimitedParallelism(t *testing.T) {
+	p := plat()
+	as := apps(t, 32, "dijkstra")
+	two := Evaluate(p, cfg(p, 2, 1, false, 1, 14), as, 0)
+	sixteen := Evaluate(p, cfg(p, 8, 2, false, 2, 14), as, 0)
+	if sixteen.Rates[0] > 2.5*two.Rates[0] {
+		t.Errorf("dijkstra 16-core rate %g should be < 2.5x its 2-core rate %g", sixteen.Rates[0], two.Rates[0])
+	}
+}
+
+// TestObliviousMixSpins reproduces the Table 6 pathology: an oblivious mix
+// containing polling apps, throttled to meet a 140 W cap on the max
+// configuration (what RAPL does), burns a large fraction of cycles
+// spinning — far more than the cooperative version of the same mix.
+func TestObliviousMixSpins(t *testing.T) {
+	p := plat()
+	names := []string{"kmeans", "dijkstra", "x264", "STREAM"} // mix8
+	obliv := bestUnderCap(p, machine.MaxConfig(p), apps(t, 32, names...), 140)
+	coop := bestUnderCap(p, machine.MaxConfig(p), apps(t, 8, names...), 140)
+	if obliv.SpinFrac < 0.20 {
+		t.Errorf("oblivious mix8 spin fraction %g, want > 0.20", obliv.SpinFrac)
+	}
+	if coop.SpinFrac >= obliv.SpinFrac {
+		t.Errorf("cooperative spin %g should be below oblivious %g", coop.SpinFrac, obliv.SpinFrac)
+	}
+}
+
+// bestUnderCap evaluates base at every speed setting (with duty fallback
+// below the lowest p-state) and returns the evaluation of the fastest
+// setting whose power respects capW — the comparison every power capper
+// implicitly makes.
+func bestUnderCap(p *machine.Platform, base machine.Config, as []*workload.Instance, capW float64) Eval {
+	var best Eval
+	found := false
+	for f := 0; f < p.NumFreqSettings(); f++ {
+		c := base.Clone()
+		for s := range c.Freq {
+			c.Freq[s] = f
+		}
+		ev := Evaluate(p, c, as, 0)
+		if ev.PowerTotal <= capW {
+			best = ev
+			found = true
+		}
+	}
+	if !found {
+		// Duty-cycle down from the lowest p-state until under cap.
+		for d := 0.95; d >= 0.05; d -= 0.05 {
+			c := base.Clone()
+			for s := range c.Freq {
+				c.Freq[s] = 0
+				c.Duty[s] = d
+			}
+			ev := Evaluate(p, c, as, 0)
+			if ev.PowerTotal <= capW {
+				return ev
+			}
+		}
+	}
+	return best
+}
+
+// TestFewerCoresHelpObliviousMix: under a 140 W budget, restricting an
+// oblivious polling mix to one socket (and clocking it up) beats running
+// everything (throttled down) — the core PUPiL insight for the oblivious
+// scenario (Section 5.4.3).
+func TestFewerCoresHelpObliviousMix(t *testing.T) {
+	p := plat()
+	names := []string{"kmeans", "dijkstra", "x264", "STREAM"}
+	all := bestUnderCap(p, machine.MaxConfig(p), apps(t, 32, names...), 140)
+	restricted := bestUnderCap(p, cfg(p, 8, 1, false, 2, 14), apps(t, 32, names...), 140)
+	if restricted.TotalRate() <= all.TotalRate() {
+		t.Errorf("restricted config rate %g should beat max config rate %g for oblivious mix8 at 140 W",
+			restricted.TotalRate(), all.TotalRate())
+	}
+	if restricted.SpinFrac >= all.SpinFrac {
+		t.Errorf("restricted config spin %g should be below max config spin %g",
+			restricted.SpinFrac, all.SpinFrac)
+	}
+}
+
+func TestPowerAccountingConsistent(t *testing.T) {
+	p := plat()
+	ev := Evaluate(p, machine.MaxConfig(p), apps(t, 32, "jacobi"), 0)
+	sum := 0.0
+	for _, w := range ev.PowerSocket {
+		sum += w
+	}
+	if math.Abs(sum-ev.PowerTotal) > 1e-9 {
+		t.Errorf("per-socket power %v does not sum to total %g", ev.PowerSocket, ev.PowerTotal)
+	}
+}
+
+func TestDutyCycleThrottlesPowerAndPerf(t *testing.T) {
+	p := plat()
+	as := apps(t, 32, "swaptions")
+	full := Evaluate(p, machine.MaxConfig(p), as, 0)
+	half := machine.MaxConfig(p)
+	half.Duty[0], half.Duty[1] = 0.5, 0.5
+	throttled := Evaluate(p, half, as, 0)
+	if throttled.PowerTotal >= full.PowerTotal {
+		t.Errorf("duty cycling should cut power: %g vs %g", throttled.PowerTotal, full.PowerTotal)
+	}
+	if throttled.Rates[0] >= full.Rates[0] {
+		t.Errorf("duty cycling should cut performance: %g vs %g", throttled.Rates[0], full.Rates[0])
+	}
+}
+
+// Property: rates, power, and counters are always finite and non-negative
+// across the whole enumerable configuration space for a representative mix.
+func TestEvaluateSanityAcrossConfigSpace(t *testing.T) {
+	p := plat()
+	as := apps(t, 32, "kmeans", "STREAM")
+	machine.Enumerate(p, func(c machine.Config) bool {
+		ev := Evaluate(p, c, as, 0)
+		for i, r := range ev.Rates {
+			if math.IsNaN(r) || math.IsInf(r, 0) || r < 0 {
+				t.Fatalf("config %v app %d rate %g invalid", c, i, r)
+			}
+		}
+		if ev.PowerTotal <= 0 || math.IsNaN(ev.PowerTotal) {
+			t.Fatalf("config %v power %g invalid", c, ev.PowerTotal)
+		}
+		if ev.SpinFrac < 0 || ev.SpinFrac > 1 {
+			t.Fatalf("config %v spin %g outside [0,1]", c, ev.SpinFrac)
+		}
+		if ev.MemBWGBs < 0 || ev.MemBWGBs > p.TotalBWGBs(p.MemCtls)+1e-6 {
+			t.Fatalf("config %v bandwidth %g outside [0, peak]", c, ev.MemBWGBs)
+		}
+		return true
+	})
+}
+
+// Property: power at the same configuration never decreases when frequency
+// setting increases, for random app subsets.
+func TestPowerMonotoneInFrequencyProperty(t *testing.T) {
+	p := plat()
+	names := workload.Names()
+	f := func(pick [2]uint8, freqRaw, coresRaw uint8) bool {
+		as := apps(t, 32, names[int(pick[0])%len(names)], names[int(pick[1])%len(names)])
+		fi := int(freqRaw) % (p.NumFreqSettings() - 1)
+		cores := int(coresRaw)%8 + 1
+		lo := Evaluate(p, cfg(p, cores, 2, true, 2, fi), as, 0)
+		hi := Evaluate(p, cfg(p, cores, 2, true, 2, fi+1), as, 0)
+		return hi.PowerTotal >= lo.PowerTotal-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGIPSPositiveForBusySystem(t *testing.T) {
+	p := plat()
+	ev := Evaluate(p, machine.MaxConfig(p), apps(t, 32, "blackscholes"), 0)
+	if ev.GIPS <= 0 {
+		t.Errorf("GIPS = %g, want positive", ev.GIPS)
+	}
+	// Sanity bound: can't exceed cores * turbo * max IPC * ht factor.
+	bound := 16 * p.TurboGHz * 2.5 * 2
+	if ev.GIPS > bound {
+		t.Errorf("GIPS = %g exceeds physical bound %g", ev.GIPS, bound)
+	}
+}
+
+// TestAffinityPackingRemovesCrossSocketPenalty: pinning an app to at most
+// one socket's worth of cores removes its spanning costs even when the
+// global configuration keeps both sockets (the EAS mechanism).
+func TestAffinityPackingRemovesCrossSocketPenalty(t *testing.T) {
+	p := plat()
+	as := apps(t, 32, "kmeans", "blackscholes")
+	c := cfg(p, 8, 2, true, 2, 14)
+	before := Evaluate(p, c, as, 0)
+	as[0].AffinityCores = 8 // pack kmeans onto one socket
+	after := Evaluate(p, c, as, 0)
+	if after.Rates[0] <= before.Rates[0] {
+		t.Errorf("packed kmeans %.2f should beat spanning kmeans %.2f", after.Rates[0], before.Rates[0])
+	}
+	if after.PerAppSpin[0] > before.PerAppSpin[0] {
+		t.Errorf("packing should not increase spin: %.2f -> %.2f", before.PerAppSpin[0], after.PerAppSpin[0])
+	}
+}
+
+// TestPerAppBandwidthSumsToTotal: the per-app bandwidth decomposition must
+// sum to the machine figure and stay within the platform peak.
+func TestPerAppBandwidthDecomposition(t *testing.T) {
+	p := plat()
+	as := apps(t, 32, "STREAM", "jacobi", "cfd")
+	ev := Evaluate(p, machine.MaxConfig(p), as, 0)
+	sum := 0.0
+	for _, bw := range ev.PerAppBW {
+		if bw < 0 {
+			t.Fatalf("negative per-app bandwidth: %v", ev.PerAppBW)
+		}
+		sum += bw
+	}
+	if math.Abs(sum-ev.MemBWGBs) > 1e-6 {
+		t.Errorf("per-app bandwidth sums to %.2f, machine reports %.2f", sum, ev.MemBWGBs)
+	}
+	if ev.MemBWGBs > p.TotalBWGBs(p.MemCtls)+1e-9 {
+		t.Errorf("achieved bandwidth %.2f exceeds peak %.2f", ev.MemBWGBs, p.TotalBWGBs(p.MemCtls))
+	}
+}
+
+// Property: adding an application never increases any co-runner's rate
+// (shared machine; more contention cannot help).
+func TestAddingAppNeverHelpsProperty(t *testing.T) {
+	p := plat()
+	names := workload.Names()
+	f := func(a, b uint8) bool {
+		first := names[int(a)%len(names)]
+		second := names[int(b)%len(names)]
+		solo := Evaluate(p, machine.MaxConfig(p), apps(t, 32, first), 0)
+		duo := Evaluate(p, machine.MaxConfig(p), apps(t, 32, first, second), 0)
+		return duo.Rates[0] <= solo.Rates[0]*1.001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the spin fraction decomposition stays within bounds for random
+// mixes and configurations.
+func TestSpinDecompositionBounds(t *testing.T) {
+	p := plat()
+	names := workload.Names()
+	f := func(a, b, coresRaw uint8, ht bool) bool {
+		cores := int(coresRaw)%8 + 1
+		as := apps(t, 32, names[int(a)%len(names)], names[int(b)%len(names)])
+		ev := Evaluate(p, cfg(p, cores, 2, ht, 2, 10), as, 0)
+		for _, s := range ev.PerAppSpin {
+			if s < 0 || s > 1 {
+				return false
+			}
+		}
+		return ev.SpinFrac >= 0 && ev.SpinFrac <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,53 @@
+// Package telemetry implements the observation side of the paper's
+// observe-decide-act loop: sampled power and performance sensors with
+// configurable noise and outliers, sliding windows, and the
+// standard-deviation filter of Section 3.1.1 (Equations 1-4) that lets the
+// software react to persistent phenomena rather than transient timing
+// fluctuations.
+package telemetry
+
+import "math"
+
+// SigmaFilter implements the paper's deviation-based feedback filter:
+// compute the mean mu and standard deviation sigma of the raw measurements,
+// discard every sample farther than k*sigma from mu, and average the rest
+// (Equations 1-4 use k = 3).
+//
+// It returns the filtered mean and how many samples were kept. An empty
+// input returns (0, 0). If sigma is zero (all samples identical) every
+// sample is kept.
+func SigmaFilter(values []float64, k float64) (mean float64, kept int) {
+	n := len(values)
+	if n == 0 {
+		return 0, 0
+	}
+	mu := 0.0
+	for _, v := range values {
+		mu += v
+	}
+	mu /= float64(n)
+
+	variance := 0.0
+	for _, v := range values {
+		variance += (v - mu) * (v - mu)
+	}
+	variance /= float64(n)
+	sigma := math.Sqrt(variance)
+
+	if sigma == 0 {
+		return mu, n
+	}
+	sum := 0.0
+	for _, v := range values {
+		if math.Abs(v-mu) < k*sigma {
+			sum += v
+			kept++
+		}
+	}
+	if kept == 0 {
+		// Pathological two-point distributions can place every sample
+		// exactly at k*sigma; fall back to the unfiltered mean.
+		return mu, n
+	}
+	return sum / float64(kept), kept
+}

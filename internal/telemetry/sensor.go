@@ -1,0 +1,151 @@
+package telemetry
+
+import (
+	"time"
+
+	"pupil/internal/sim"
+)
+
+// Reading is one timestamped sensor measurement.
+type Reading struct {
+	T time.Duration
+	V float64
+}
+
+// Window is a bounded sliding window of readings, oldest first.
+type Window struct {
+	cap  int
+	data []Reading
+}
+
+// NewWindow returns a window retaining at most capacity readings.
+func NewWindow(capacity int) *Window {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &Window{cap: capacity}
+}
+
+// Add appends a reading, evicting the oldest when full.
+func (w *Window) Add(r Reading) {
+	if len(w.data) == w.cap {
+		copy(w.data, w.data[1:])
+		w.data[len(w.data)-1] = r
+		return
+	}
+	w.data = append(w.data, r)
+}
+
+// Len returns the number of retained readings.
+func (w *Window) Len() int { return len(w.data) }
+
+// Since returns the values of readings taken at or after t, oldest first.
+func (w *Window) Since(t time.Duration) []float64 {
+	var out []float64
+	for _, r := range w.data {
+		if r.T >= t {
+			out = append(out, r.V)
+		}
+	}
+	return out
+}
+
+// Last returns the most recent reading, or a zero Reading when empty.
+func (w *Window) Last() Reading {
+	if len(w.data) == 0 {
+		return Reading{}
+	}
+	return w.data[len(w.data)-1]
+}
+
+// FilteredMean applies the paper's 3-sigma filter to the readings taken at
+// or after t and returns the filtered mean plus the raw sample count.
+func (w *Window) FilteredMean(t time.Duration) (mean float64, samples int) {
+	vals := w.Since(t)
+	m, _ := SigmaFilter(vals, 3)
+	return m, len(vals)
+}
+
+// NoiseSpec configures a sensor's imperfection: multiplicative Gaussian
+// noise plus occasional outliers (a page fault or SMI landing inside the
+// measurement window).
+type NoiseSpec struct {
+	// RelStdDev is the standard deviation of multiplicative noise
+	// (0.01 = 1% jitter).
+	RelStdDev float64
+	// OutlierProb is the per-sample probability of an outlier.
+	OutlierProb float64
+	// OutlierMag is the relative magnitude of outliers (0.5 = the sample
+	// reads 50% off).
+	OutlierMag float64
+}
+
+// DefaultPerfNoise models heartbeat-style performance feedback: noticeable
+// jitter with occasional large excursions, which is why the paper filters.
+func DefaultPerfNoise() NoiseSpec {
+	return NoiseSpec{RelStdDev: 0.03, OutlierProb: 0.01, OutlierMag: 0.6}
+}
+
+// DefaultPowerNoise models an on-board power monitor.
+func DefaultPowerNoise() NoiseSpec {
+	return NoiseSpec{RelStdDev: 0.015, OutlierProb: 0.002, OutlierMag: 0.3}
+}
+
+// Sensor periodically samples a scalar source, perturbs it per its
+// NoiseSpec, and retains readings in a Window. It implements sim.Ticker.
+type Sensor struct {
+	name   string
+	source func() float64
+	period time.Duration
+	noise  NoiseSpec
+	rng    *sim.RNG
+	window *Window
+	trace  *sim.Series // optional clean trace of noisy readings
+}
+
+// NewSensor builds a sensor named name sampling source every period. The
+// window retains windowLen readings. rng must be a dedicated stream.
+func NewSensor(name string, source func() float64, period time.Duration, windowLen int, noise NoiseSpec, rng *sim.RNG) *Sensor {
+	return &Sensor{
+		name:   name,
+		source: source,
+		period: period,
+		noise:  noise,
+		rng:    rng,
+		window: NewWindow(windowLen),
+	}
+}
+
+// Record attaches a series that receives every noisy reading, for tracing.
+func (s *Sensor) Record(series *sim.Series) { s.trace = series }
+
+// Trace returns the attached recording series, or nil when none is set.
+func (s *Sensor) Trace() *sim.Series { return s.trace }
+
+// Window exposes the sensor's sliding window.
+func (s *Sensor) Window() *Window { return s.window }
+
+// Period implements sim.Ticker.
+func (s *Sensor) Period() time.Duration { return s.period }
+
+// Tick implements sim.Ticker: sample, perturb, retain.
+func (s *Sensor) Tick(now time.Duration) {
+	v := s.source()
+	if s.noise.RelStdDev > 0 {
+		v *= 1 + s.noise.RelStdDev*s.rng.NormFloat64()
+	}
+	if s.noise.OutlierProb > 0 && s.rng.Float64() < s.noise.OutlierProb {
+		sign := 1.0
+		if s.rng.Float64() < 0.5 {
+			sign = -1
+		}
+		v *= 1 + sign*s.noise.OutlierMag
+	}
+	if v < 0 {
+		v = 0
+	}
+	s.window.Add(Reading{T: now, V: v})
+	if s.trace != nil {
+		s.trace.Add(now, v)
+	}
+}

@@ -1,0 +1,218 @@
+// Package validate programmatically checks the simulation substrate's
+// calibration: the battery of qualitative properties the paper's results
+// rest on (x264's hyperthreading loss, kmeans' retrograde socket scaling,
+// STREAM's bandwidth saturation, the 60 W DVFS infeasibility, the
+// oblivious spin-storm pathology, the Algorithm 2 resource order). Anyone
+// who retunes a profile, the power model, or the scheduler constants should
+// run this battery — cmd/validate does — before trusting new experiment
+// output.
+package validate
+
+import (
+	"fmt"
+
+	"pupil/internal/machine"
+	"pupil/internal/resource"
+	"pupil/internal/sim"
+	"pupil/internal/system"
+	"pupil/internal/workload"
+)
+
+// Check is one validated property.
+type Check struct {
+	Name   string
+	Detail string
+	Pass   bool
+}
+
+// check builds a Check from a condition and a printf-style detail.
+func check(name string, pass bool, format string, args ...any) Check {
+	return Check{Name: name, Pass: pass, Detail: fmt.Sprintf(format, args...)}
+}
+
+// instances builds running instances for one benchmark.
+func instances(name string, threads int) ([]*workload.Instance, error) {
+	prof, err := workload.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return workload.NewInstances([]workload.Spec{{Profile: prof, Threads: threads}})
+}
+
+func mixInstances(names []string, threads int) ([]*workload.Instance, error) {
+	var specs []workload.Spec
+	for _, n := range names {
+		prof, err := workload.ByName(n)
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, workload.Spec{Profile: prof, Threads: threads})
+	}
+	return workload.NewInstances(specs)
+}
+
+// evalAt evaluates a configuration at a uniform speed setting.
+func evalAt(p *machine.Platform, cores, sockets int, ht bool, mc, freq int, apps []*workload.Instance) system.Eval {
+	cfg := machine.Config{Cores: cores, Sockets: sockets, HT: ht, MemCtls: mc}.Normalize(p)
+	for s := range cfg.Freq {
+		cfg.Freq[s] = freq
+	}
+	return system.Evaluate(p, cfg, apps, 0)
+}
+
+// bestUnderCap returns the evaluation of the fastest uniform speed setting
+// of base whose power respects capW, falling back to duty cycling.
+func bestUnderCap(p *machine.Platform, base machine.Config, apps []*workload.Instance, capW float64) system.Eval {
+	var best system.Eval
+	found := false
+	for f := 0; f < p.NumFreqSettings(); f++ {
+		cfg := base.Clone()
+		for s := range cfg.Freq {
+			cfg.Freq[s] = f
+			cfg.Duty[s] = 1
+		}
+		ev := system.Evaluate(p, cfg, apps, 0)
+		if ev.PowerTotal <= capW {
+			best = ev
+			found = true
+		}
+	}
+	if !found {
+		for d := 0.95; d >= 0.05; d -= 0.05 {
+			cfg := base.Clone()
+			for s := range cfg.Freq {
+				cfg.Freq[s] = 0
+				cfg.Duty[s] = d
+			}
+			ev := system.Evaluate(p, cfg, apps, 0)
+			if ev.PowerTotal <= capW {
+				return ev
+			}
+		}
+	}
+	return best
+}
+
+// Substrate runs the full calibration battery on the reference platform and
+// benchmark profiles.
+func Substrate() ([]Check, error) {
+	p := machine.E52690Server()
+	var out []Check
+
+	// 1. Platform envelope.
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	out = append(out, check("platform: 1024 configurations",
+		p.NumConfigurations() == 1024, "got %d", p.NumConfigurations()))
+
+	heavy, err := instances("swaptions", 32)
+	if err != nil {
+		return nil, err
+	}
+	full := system.Evaluate(p, machine.MaxConfig(p), heavy, 0)
+	out = append(out, check("platform: full-tilt power in (220, 270) W",
+		full.PowerTotal > 220 && full.PowerTotal < 270, "%.1f W", full.PowerTotal))
+
+	// 2. 60 W is infeasible for DVFS alone (Table 3's missing entries).
+	floor := evalAt(p, p.CoresPerSocket, p.Sockets, true, p.MemCtls, 0, heavy)
+	out = append(out, check("platform: lowest p-state with all threads exceeds 60 W",
+		floor.PowerTotal > 60, "%.1f W", floor.PowerTotal))
+
+	// 3. x264: hyperthreads cost power and a little performance (Fig. 1).
+	x264, err := instances("x264", 32)
+	if err != nil {
+		return nil, err
+	}
+	htOff := evalAt(p, 8, 2, false, 2, 14, x264)
+	htOn := evalAt(p, 8, 2, true, 2, 14, x264)
+	out = append(out, check("x264: hyperthreading loses performance",
+		htOn.TotalRate() < htOff.TotalRate(), "HT %.2f vs %.2f", htOn.TotalRate(), htOff.TotalRate()))
+	out = append(out, check("x264: hyperthreading costs power",
+		htOn.PowerTotal > htOff.PowerTotal, "HT %.1f W vs %.1f W", htOn.PowerTotal, htOff.PowerTotal))
+
+	// 4. kmeans: retrograde scaling across sockets (Section 5.2).
+	kmeans, err := instances("kmeans", 32)
+	if err != nil {
+		return nil, err
+	}
+	one := evalAt(p, 8, 1, true, 1, 14, kmeans)
+	two := evalAt(p, 8, 2, true, 2, 14, kmeans)
+	out = append(out, check("kmeans: second socket reduces performance",
+		two.TotalRate() < one.TotalRate(), "2s %.2f vs 1s %.2f", two.TotalRate(), one.TotalRate()))
+	out = append(out, check("kmeans: second socket burns more power",
+		two.PowerTotal > one.PowerTotal, "2s %.1f W vs 1s %.1f W", two.PowerTotal, one.PowerTotal))
+
+	// 5. STREAM: bandwidth saturation (Fig. 5).
+	stream, err := instances("STREAM", 32)
+	if err != nil {
+		return nil, err
+	}
+	few := evalAt(p, 4, 2, false, 2, 14, stream)
+	all := evalAt(p, 8, 2, false, 2, 14, stream)
+	out = append(out, check("STREAM: extra cores past saturation add <15% speed",
+		all.TotalRate() <= few.TotalRate()*1.15, "16c %.2f vs 8c %.2f", all.TotalRate(), few.TotalRate()))
+	out = append(out, check("STREAM: achieves most of peak bandwidth",
+		all.MemBWGBs >= 0.75*p.TotalBWGBs(2), "%.1f of %.1f GB/s", all.MemBWGBs, p.TotalBWGBs(2)))
+
+	// 6. dijkstra: limited parallelism (Fig. 5's RAPL-poor set).
+	dij, err := instances("dijkstra", 32)
+	if err != nil {
+		return nil, err
+	}
+	dTwo := evalAt(p, 2, 1, false, 1, 14, dij)
+	dAll := evalAt(p, 8, 2, false, 2, 14, dij)
+	out = append(out, check("dijkstra: 16 cores < 2.5x its 2-core speed",
+		dAll.TotalRate() < 2.5*dTwo.TotalRate(), "16c %.2f vs 2c %.2f", dAll.TotalRate(), dTwo.TotalRate()))
+
+	// 7. Oblivious spin storms (Table 6): mix8 throttled to 140 W on the
+	// max configuration spins hard; restricted to one socket it does not.
+	mix8, err := mixInstances([]string{"kmeans", "dijkstra", "x264", "STREAM"}, 32)
+	if err != nil {
+		return nil, err
+	}
+	storm := bestUnderCap(p, machine.MaxConfig(p), mix8, 140)
+	packed := bestUnderCap(p, machine.Config{Cores: 8, Sockets: 1, HT: true, MemCtls: 2}.Normalize(p), mix8, 140)
+	out = append(out, check("mix8 oblivious: spin storm under the throttled max config",
+		storm.SpinFrac > 0.2, "spin %.2f", storm.SpinFrac))
+	out = append(out, check("mix8 oblivious: packing one socket quenches the storm",
+		packed.SpinFrac < 0.05, "spin %.2f", packed.SpinFrac))
+	out = append(out, check("mix8 oblivious: packed beats throttled-max under the same cap",
+		packed.TotalRate() > storm.TotalRate(), "packed %.2f vs max %.2f", packed.TotalRate(), storm.TotalRate()))
+
+	// 8. Algorithm 2 ordering (Table 2).
+	calib, err := workload.NewInstances([]workload.Spec{{Profile: workload.Calibration(), Threads: 32}})
+	if err != nil {
+		return nil, err
+	}
+	measure := func(c machine.Config) (perf, power float64) {
+		ev := system.Evaluate(p, c, calib, 0)
+		return ev.TotalRate(), ev.PowerTotal
+	}
+	ordered, _, err := resource.Order(p, resource.Standard(p), measure, sim.NewRNG(1))
+	if err != nil {
+		return nil, err
+	}
+	want := []string{"cores", "sockets", "hyperthreads", "memctl", "dvfs"}
+	orderOK := len(ordered) == len(want)
+	got := ""
+	for i, r := range ordered {
+		if orderOK && r.Name() != want[i] {
+			orderOK = false
+		}
+		got += r.Name() + " "
+	}
+	out = append(out, check("calibration: resource order matches Table 2", orderOK, "%s", got))
+
+	return out, nil
+}
+
+// AllPass reports whether every check passed.
+func AllPass(checks []Check) bool {
+	for _, c := range checks {
+		if !c.Pass {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,33 @@
+package validate
+
+import "testing"
+
+// TestSubstrateBatteryPasses: the shipped calibration must pass its own
+// battery — if this fails, a model change broke a property the reproduced
+// results depend on.
+func TestSubstrateBatteryPasses(t *testing.T) {
+	checks, err := Substrate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(checks) < 10 {
+		t.Fatalf("battery ran only %d checks", len(checks))
+	}
+	for _, c := range checks {
+		if !c.Pass {
+			t.Errorf("%s: %s", c.Name, c.Detail)
+		}
+	}
+	if !AllPass(checks) {
+		t.Error("AllPass = false")
+	}
+}
+
+func TestAllPass(t *testing.T) {
+	if AllPass([]Check{{Pass: true}, {Pass: false}}) {
+		t.Error("AllPass ignored a failure")
+	}
+	if !AllPass(nil) {
+		t.Error("AllPass(nil) should be true")
+	}
+}

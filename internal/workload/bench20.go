@@ -1,0 +1,124 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// The 20 benchmark profiles mirror the applications of the paper's
+// evaluation (Section 4.1). Parameters were calibrated so the paper's
+// qualitative per-application findings hold on the modeled platform:
+//
+//   - x264 loses performance with hyperthreading while drawing more power
+//     (the motivational example, Fig. 1);
+//   - kmeans and fuzzy kmeans scale well within a socket but collapse when
+//     spanning sockets, and use polling synchronization (Section 5.2 and
+//     Table 6);
+//   - dijkstra has very limited parallelism with a long polling serial
+//     phase;
+//   - STREAM saturates memory bandwidth with a handful of cores, so extra
+//     cores burn power without adding speed;
+//   - vips and HOP have scaling pathologies; the remaining applications
+//     have ample parallelism and are the ones RAPL handles well (Fig. 5).
+var profiles = []Profile{
+	{Name: "blackscholes", Suite: "PARSEC", BaseRate: 1, Sigma: 0.008, Kappa: 5e-6, CrossKappa: 2e-5,
+		HTYield: 0.30, MemIntensity: 0.05, GBPerUnit: 0.30, Sync: SyncNone, IPC: 2.2},
+	{Name: "PLSA", Suite: "Minebench", BaseRate: 1, Sigma: 0.030, Kappa: 4e-5, CrossKappa: 8e-5,
+		HTYield: 0.20, MemIntensity: 0.25, GBPerUnit: 1.00, Sync: SyncBlocking, SerialFrac: 0.04, IPC: 1.6},
+	{Name: "kmeans_fuzzy", Suite: "Minebench", BaseRate: 1, Sigma: 0.020, Kappa: 1e-4, CrossKappa: 4e-3,
+		HTYield: 0.10, MemIntensity: 0.45, GBPerUnit: 1.60, Sync: SyncPolling, SerialFrac: 0.40, IPC: 1.3},
+	{Name: "swish++", Suite: "server", BaseRate: 1, Sigma: 0.050, Kappa: 8e-5, CrossKappa: 2e-4,
+		HTYield: 0.35, MemIntensity: 0.35, GBPerUnit: 1.20, Sync: SyncBlocking, SerialFrac: 0.05, IPC: 1.4,
+		PhaseAmp: 0.10, PhasePeriod: 9 * time.Second},
+	{Name: "bfs", Suite: "Rodinia", BaseRate: 1, Sigma: 0.040, Kappa: 6e-5, CrossKappa: 1.5e-4,
+		HTYield: 0.30, MemIntensity: 0.50, GBPerUnit: 1.80, Sync: SyncBlocking, SerialFrac: 0.03, IPC: 0.9},
+	{Name: "jacobi", Suite: "kernel", BaseRate: 1, Sigma: 0.015, Kappa: 2e-5, CrossKappa: 6e-5,
+		HTYield: 0.15, MemIntensity: 0.60, GBPerUnit: 2.40, Sync: SyncNone, IPC: 1.1},
+	{Name: "swaptions", Suite: "PARSEC", BaseRate: 1, Sigma: 0.004, Kappa: 3e-6, CrossKappa: 1e-5,
+		HTYield: 0.30, MemIntensity: 0.02, GBPerUnit: 0.10, Sync: SyncNone, IPC: 2.4},
+	{Name: "x264", Suite: "PARSEC", BaseRate: 1, Sigma: 0.050, Kappa: 8e-5, CrossKappa: 2e-4,
+		HTYield: -0.12, MemIntensity: 0.20, GBPerUnit: 0.80, Sync: SyncBlocking, SerialFrac: 0.05, IPC: 2.0,
+		PhaseAmp: 0.08, PhasePeriod: 6 * time.Second},
+	{Name: "bodytrack", Suite: "PARSEC", BaseRate: 1, Sigma: 0.060, Kappa: 1.5e-4, CrossKappa: 3e-4,
+		HTYield: 0.20, MemIntensity: 0.25, GBPerUnit: 0.90, Sync: SyncBlocking, SerialFrac: 0.06, IPC: 1.7},
+	{Name: "btree", Suite: "Minebench", BaseRate: 1, Sigma: 0.025, Kappa: 4e-5, CrossKappa: 1e-4,
+		HTYield: 0.40, MemIntensity: 0.35, GBPerUnit: 1.10, Sync: SyncBlocking, SerialFrac: 0.03, IPC: 1.2},
+	{Name: "cfd", Suite: "Rodinia", BaseRate: 1, Sigma: 0.040, Kappa: 5e-5, CrossKappa: 1.2e-4,
+		HTYield: 0.10, MemIntensity: 0.50, GBPerUnit: 2.00, Sync: SyncBlocking, SerialFrac: 0.04, IPC: 1.2},
+	{Name: "particlefilter", Suite: "Rodinia", BaseRate: 1, Sigma: 0.050, Kappa: 8e-5, CrossKappa: 1.6e-4,
+		HTYield: 0.25, MemIntensity: 0.20, GBPerUnit: 0.70, Sync: SyncBlocking, SerialFrac: 0.05, IPC: 1.8},
+	{Name: "svmrfe", Suite: "Minebench", BaseRate: 1, Sigma: 0.020, Kappa: 3e-5, CrossKappa: 8e-5,
+		HTYield: 0.30, MemIntensity: 0.30, GBPerUnit: 1.00, Sync: SyncBlocking, SerialFrac: 0.02, IPC: 1.8},
+	{Name: "HOP", Suite: "Minebench", BaseRate: 1, Sigma: 0.140, Kappa: 7e-4, CrossKappa: 1.4e-3,
+		HTYield: 0.05, MemIntensity: 0.30, GBPerUnit: 1.20, Sync: SyncBlocking, SerialFrac: 0.10, IPC: 1.5},
+	{Name: "ScalParC", Suite: "Minebench", BaseRate: 1, Sigma: 0.050, Kappa: 1e-4, CrossKappa: 2e-4,
+		HTYield: 0.20, MemIntensity: 0.40, GBPerUnit: 1.40, Sync: SyncBlocking, SerialFrac: 0.04, IPC: 1.4},
+	{Name: "fluidanimate", Suite: "PARSEC", BaseRate: 1, Sigma: 0.060, Kappa: 1.2e-4, CrossKappa: 2.4e-4,
+		HTYield: 0.15, MemIntensity: 0.30, GBPerUnit: 1.10, Sync: SyncBlocking, SerialFrac: 0.05, IPC: 1.6},
+	{Name: "dijkstra", Suite: "ParMiBench", BaseRate: 1, Sigma: 0.500, Kappa: 2e-3, CrossKappa: 4e-3,
+		HTYield: 0.05, MemIntensity: 0.15, GBPerUnit: 0.50, Sync: SyncPolling, SerialFrac: 0.55, IPC: 1.9},
+	{Name: "STREAM", Suite: "kernel", BaseRate: 1, Sigma: 0.020, Kappa: 1e-5, CrossKappa: 3e-5,
+		HTYield: -0.12, MemIntensity: 0.96, GBPerUnit: 13.0, Sync: SyncNone, IPC: 0.5},
+	{Name: "kmeans", Suite: "Minebench", BaseRate: 1, Sigma: 0.020, Kappa: 5e-5, CrossKappa: 6e-3,
+		HTYield: 0.10, MemIntensity: 0.40, GBPerUnit: 1.50, Sync: SyncPolling, SerialFrac: 0.45, IPC: 1.5},
+	{Name: "vips", Suite: "PARSEC", BaseRate: 1, Sigma: 0.090, Kappa: 4e-4, CrossKappa: 8e-4,
+		HTYield: 0.00, MemIntensity: 0.30, GBPerUnit: 1.10, Sync: SyncBlocking, SerialFrac: 0.08, IPC: 1.6},
+}
+
+// byName indexes profiles; built at init and never mutated afterwards.
+var byName = func() map[string]Profile {
+	m := make(map[string]Profile, len(profiles))
+	for _, p := range profiles {
+		if err := p.Validate(); err != nil {
+			panic(err)
+		}
+		if _, dup := m[p.Name]; dup {
+			panic("workload: duplicate profile " + p.Name)
+		}
+		m[p.Name] = p
+	}
+	return m
+}()
+
+// All returns the 20 benchmark profiles in the order used on the x-axis of
+// the paper's per-application figures (Fig. 3, 4 and 7).
+func All() []Profile {
+	out := make([]Profile, len(profiles))
+	copy(out, profiles)
+	return out
+}
+
+// Names returns the benchmark names in figure order.
+func Names() []string {
+	out := make([]string, len(profiles))
+	for i, p := range profiles {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// ByName returns the named profile. It returns an error (not a panic) so
+// that callers driving from user input get a diagnosable failure.
+func ByName(name string) (Profile, error) {
+	p, ok := byName[name]
+	if !ok {
+		known := Names()
+		sort.Strings(known)
+		return Profile{}, fmt.Errorf("workload: unknown benchmark %q (known: %v)", name, known)
+	}
+	return p, nil
+}
+
+// Calibration returns the well-understood, embarrassingly parallel
+// application used by Algorithm 2 to establish the resource ordering. It
+// has no inter-thread communication (zero USL contention and coherence) and
+// near-ideal hyperthread yield, so each resource's measured impact reflects
+// the hardware rather than the application.
+func Calibration() Profile {
+	return Profile{
+		Name: "calibration", Suite: "synthetic", BaseRate: 1,
+		HTYield: 0.85, MemIntensity: 0.30, GBPerUnit: 1.0,
+		Sync: SyncNone, IPC: 2.0,
+	}
+}

@@ -1,0 +1,59 @@
+package workload
+
+import "fmt"
+
+// Mix is a named multi-application workload (Table 4 of the paper): four
+// benchmarks launched together.
+type Mix struct {
+	Name  string
+	Names []string
+}
+
+// mixes reproduces Table 4 exactly. Mixes 1-4 draw only from applications
+// for which RAPL is near-optimal, mixes 5-8 only from applications for
+// which RAPL is more than 10% from optimal, and mixes 9-12 take two from
+// each set.
+var mixes = []Mix{
+	{"mix1", []string{"jacobi", "swaptions", "bfs", "particlefilter"}},
+	{"mix2", []string{"cfd", "bfs", "fluidanimate", "jacobi"}},
+	{"mix3", []string{"blackscholes", "cfd", "jacobi", "fluidanimate"}},
+	{"mix4", []string{"particlefilter", "blackscholes", "swaptions", "btree"}},
+	{"mix5", []string{"x264", "dijkstra", "vips", "HOP"}},
+	{"mix6", []string{"STREAM", "kmeans_fuzzy", "HOP", "dijkstra"}},
+	{"mix7", []string{"STREAM", "kmeans", "vips", "HOP"}},
+	{"mix8", []string{"kmeans", "dijkstra", "x264", "STREAM"}},
+	{"mix9", []string{"jacobi", "swaptions", "kmeans_fuzzy", "vips"}},
+	{"mix10", []string{"cfd", "bfs", "x264", "HOP"}},
+	{"mix11", []string{"jacobi", "blackscholes", "dijkstra", "kmeans_fuzzy"}},
+	{"mix12", []string{"btree", "particlefilter", "kmeans", "STREAM"}},
+}
+
+// Mixes returns the 12 multi-application workloads of Table 4.
+func Mixes() []Mix {
+	out := make([]Mix, len(mixes))
+	copy(out, mixes)
+	return out
+}
+
+// MixByName returns the named mix.
+func MixByName(name string) (Mix, error) {
+	for _, m := range mixes {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return Mix{}, fmt.Errorf("workload: unknown mix %q", name)
+}
+
+// Profiles resolves the mix's benchmark names to their profiles.
+func (m Mix) Profiles() ([]Profile, error) {
+	out := make([]Profile, 0, len(m.Names))
+	for _, n := range m.Names {
+		p, err := ByName(n)
+		if err != nil {
+			return nil, fmt.Errorf("mix %s: %w", m.Name, err)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

@@ -1,0 +1,260 @@
+package pupil
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDefaultPlatform(t *testing.T) {
+	p := DefaultPlatform()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.NumConfigurations() != 1024 {
+		t.Errorf("configuration space = %d, want 1024", p.NumConfigurations())
+	}
+}
+
+func TestBenchmarksAndMixes(t *testing.T) {
+	if len(Benchmarks()) != 20 {
+		t.Errorf("have %d benchmarks, want 20", len(Benchmarks()))
+	}
+	if len(Mixes()) != 12 {
+		t.Errorf("have %d mixes, want 12", len(Mixes()))
+	}
+	names, err := MixBenchmarks("mix5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 4 || names[0] != "x264" {
+		t.Errorf("mix5 = %v", names)
+	}
+	if _, err := MixBenchmarks("mix99"); err == nil {
+		t.Error("MixBenchmarks accepted unknown mix")
+	}
+}
+
+func TestNewControllerAllTechniques(t *testing.T) {
+	p := DefaultPlatform()
+	for _, tech := range Techniques() {
+		c, err := NewController(tech, p)
+		if err != nil {
+			t.Fatalf("%s: %v", tech, err)
+		}
+		if c.Name() != string(tech) {
+			t.Errorf("controller for %s reports name %s", tech, c.Name())
+		}
+		if c.Period() <= 0 {
+			t.Errorf("%s has non-positive period", tech)
+		}
+	}
+	if _, err := NewController("Nonsense", p); err == nil {
+		t.Error("NewController accepted unknown technique")
+	}
+}
+
+func TestRunQuickstartScenario(t *testing.T) {
+	res, err := Run(RunSpec{
+		Workloads: []WorkloadSpec{{Benchmark: "x264", Threads: 32}},
+		CapWatts:  140,
+		Technique: PUPiL,
+		Duration:  30 * time.Second,
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Settled {
+		t.Error("PUPiL quickstart run did not settle")
+	}
+	if res.SteadyPower > 140*1.03 {
+		t.Errorf("steady power %.1f W exceeds the cap", res.SteadyPower)
+	}
+	if res.SteadyTotal() <= 0 {
+		t.Error("no performance delivered")
+	}
+}
+
+func TestRunRejectsUnknownBenchmark(t *testing.T) {
+	_, err := Run(RunSpec{
+		Workloads: []WorkloadSpec{{Benchmark: "no-such-app"}},
+		CapWatts:  140,
+		Technique: RAPL,
+	})
+	if err == nil {
+		t.Error("Run accepted unknown benchmark")
+	}
+}
+
+func TestRunDefaultsThreadsToHWThreads(t *testing.T) {
+	res, err := Run(RunSpec{
+		Workloads: []WorkloadSpec{{Benchmark: "swaptions"}},
+		CapWatts:  220,
+		Technique: RAPL,
+		Duration:  5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SteadyTotal() <= 0 {
+		t.Error("defaulted-thread run produced no work")
+	}
+}
+
+func TestOptimalOracle(t *testing.T) {
+	opt, ok, err := Optimal(nil, []WorkloadSpec{{Benchmark: "kmeans", Threads: 32}}, 140)
+	if err != nil || !ok {
+		t.Fatalf("Optimal failed: ok=%v err=%v", ok, err)
+	}
+	if opt.PowerWatts > 140 {
+		t.Errorf("optimal config power %.1f exceeds cap", opt.PowerWatts)
+	}
+	if opt.Config.Sockets != 1 {
+		t.Errorf("optimal kmeans config uses %d sockets, want 1 (retrograde scaling)", opt.Config.Sockets)
+	}
+	// An impossible cap must report not-ok.
+	if _, ok, _ := Optimal(nil, []WorkloadSpec{{Benchmark: "kmeans", Threads: 32}}, 5); ok {
+		t.Error("Optimal found a configuration under a 5 W cap")
+	}
+}
+
+func TestCalibrateOrder(t *testing.T) {
+	impacts, err := Calibrate(nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"cores", "sockets", "hyperthreads", "memctl", "dvfs"}
+	if len(impacts) != len(want) {
+		t.Fatalf("calibration returned %d rows, want %d", len(impacts), len(want))
+	}
+	for i, im := range impacts {
+		if im.Resource != want[i] {
+			t.Errorf("calibrated order[%d] = %s, want %s", i, im.Resource, want[i])
+		}
+	}
+}
+
+// TestHeadlineClaim asserts the paper's fundamental result end to end
+// through the public API: PUPiL provides hardware-like timeliness with
+// software-like efficiency, beating RAPL on a workload hardware handles
+// poorly.
+func TestHeadlineClaim(t *testing.T) {
+	run := func(tech Technique) Result {
+		res, err := Run(RunSpec{
+			Workloads: []WorkloadSpec{{Benchmark: "kmeans", Threads: 32}},
+			CapWatts:  140,
+			Technique: tech,
+			Duration:  60 * time.Second,
+			Seed:      3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	rapl, pupilRes := run(RAPL), run(PUPiL)
+	if pupilRes.SteadyTotal() < rapl.SteadyTotal()*1.5 {
+		t.Errorf("PUPiL %.2f should dominate RAPL %.2f on kmeans at 140 W",
+			pupilRes.SteadyTotal(), rapl.SteadyTotal())
+	}
+	if pupilRes.Settling > 2*time.Second {
+		t.Errorf("PUPiL settling %v should stay hardware-like", pupilRes.Settling)
+	}
+}
+
+func TestPUPiLEASTechnique(t *testing.T) {
+	c, err := NewController(PUPiLEAS, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name() != "PUPiL-EAS" {
+		t.Errorf("Name = %q", c.Name())
+	}
+	res, err := Run(RunSpec{
+		Workloads: []WorkloadSpec{
+			{Benchmark: "btree", Threads: 32}, {Benchmark: "particlefilter", Threads: 32},
+			{Benchmark: "kmeans", Threads: 32}, {Benchmark: "STREAM", Threads: 32},
+		},
+		CapWatts:  220,
+		Technique: PUPiLEAS,
+		Duration:  90 * time.Second,
+		Seed:      7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SteadyTotal() <= 0 {
+		t.Error("EAS run produced nothing")
+	}
+}
+
+func TestSummaryJSON(t *testing.T) {
+	res, err := Run(RunSpec{
+		Workloads: []WorkloadSpec{{Benchmark: "jacobi", Threads: 32}},
+		CapWatts:  140,
+		Technique: RAPL,
+		Duration:  10 * time.Second,
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := res.Summarize("RAPL", 140, 10*time.Second).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"technique": "RAPL"`, `"cap_watts": 140`, `"settled": true`} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("summary JSON missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMobilePlatformCapping(t *testing.T) {
+	// The paper's motivating example: a phone SoC that cannot sustain its
+	// peak power. A 2.8 W cap must be enforceable and leave useful
+	// performance.
+	p := MobilePlatform()
+	res, err := Run(RunSpec{
+		Platform:  p,
+		Workloads: []WorkloadSpec{{Benchmark: "x264", Threads: 4}},
+		CapWatts:  2.8,
+		Technique: PUPiL,
+		Duration:  60 * time.Second,
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Settled {
+		t.Fatal("mobile cap never enforced")
+	}
+	if res.SteadyPower > 2.8*1.05 {
+		t.Errorf("steady power %.2f W exceeds the 2.8 W cap", res.SteadyPower)
+	}
+	if res.SteadyTotal() <= 0 {
+		t.Error("no performance under the mobile cap")
+	}
+}
+
+func TestSpinTraceRecorded(t *testing.T) {
+	res, err := Run(RunSpec{
+		Workloads: []WorkloadSpec{
+			{Benchmark: "kmeans", Threads: 32}, {Benchmark: "STREAM", Threads: 32},
+		},
+		CapWatts:  140,
+		Technique: RAPL,
+		Duration:  10 * time.Second,
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SpinTrace.Len() == 0 || res.BWTrace.Len() == 0 {
+		t.Fatal("counter traces not recorded")
+	}
+	if res.SpinTrace.MeanBetween(5*time.Second, 11*time.Second) <= 0 {
+		t.Error("kmeans under RAPL should show spin cycles in the trace")
+	}
+}
