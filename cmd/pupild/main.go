@@ -1,0 +1,65 @@
+// Command pupild is the power-cap control plane daemon: it serves the
+// node lifecycle REST API, per-node NDJSON telemetry streams, and a
+// Prometheus-style /metrics exporter over plain stdlib HTTP.
+//
+// Start it, then drive it with curl:
+//
+//	pupild -addr :9500
+//	curl -X POST localhost:9500/v1/nodes -d '{"technique":"PUPiL","cap_watts":140,"workloads":[{"benchmark":"x264"}]}'
+//	curl -X PUT localhost:9500/v1/nodes/n1/cap -d '{"cap_watts":100}'
+//	curl -N localhost:9500/v1/nodes/n1/stream
+//	curl localhost:9500/metrics
+//
+// SIGINT/SIGTERM shut the daemon down gracefully: in-flight requests
+// finish, every node's tick loop drains, and open streams close.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pupil/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":9500", "listen address")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
+	flag.Parse()
+
+	mgr := server.NewManager()
+	srv := &http.Server{Addr: *addr, Handler: server.New(mgr).Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("pupild listening on %s (API /v1/nodes, exporter /metrics, health /health)", *addr)
+
+	select {
+	case err := <-errCh:
+		mgr.Close()
+		log.Fatalf("pupild: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("pupild shutting down...")
+	// Drain the nodes first: closing the manager closes every telemetry
+	// fan-out, which ends any open stream request — otherwise Shutdown
+	// would wait out its grace period behind long-lived streams.
+	mgr.Close()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "pupild: shutdown: %v\n", err)
+	}
+	log.Printf("pupild stopped")
+}

@@ -146,20 +146,34 @@ type Result struct {
 	TotalPower float64
 }
 
-// Run executes the cluster scenario.
-func Run(cfg Config) (*Result, error) {
+// Coordinator is a live cluster: the sessions, the current assignment, and
+// the budget, advanced one epoch at a time. Where Run executes a fixed
+// scenario to completion, a Coordinator lets a serving layer step the
+// cluster indefinitely and reassign caps — the global budget or an
+// individual node's share — while it runs.
+type Coordinator struct {
+	cfg      Config
+	sessions []*driver.Session
+	assigned []float64
+	capTrace [][]float64
+	budget   float64
+	floor    float64
+	now      time.Duration
+}
+
+// NewCoordinator validates the configuration and builds the cluster's
+// sessions without advancing time. Duration is ignored; callers step
+// explicitly.
+func NewCoordinator(cfg Config) (*Coordinator, error) {
 	n := len(cfg.Nodes)
 	if n == 0 {
 		return nil, errors.New("cluster: no nodes")
 	}
-	if cfg.BudgetWatts <= 0 {
-		return nil, fmt.Errorf("cluster: budget %g W must be positive", cfg.BudgetWatts)
+	if err := driver.ValidateCap(cfg.BudgetWatts); err != nil {
+		return nil, fmt.Errorf("cluster: budget: %w", err)
 	}
 	if cfg.Epoch <= 0 {
 		cfg.Epoch = 5 * time.Second
-	}
-	if cfg.Duration <= 0 {
-		cfg.Duration = 60 * time.Second
 	}
 	if cfg.Policy == nil {
 		cfg.Policy = EvenPolicy{}
@@ -173,68 +187,152 @@ func Run(cfg Config) (*Result, error) {
 			cfg.BudgetWatts, n, floor)
 	}
 
-	sessions := make([]*driver.Session, n)
-	assigned := make([]float64, n)
+	c := &Coordinator{
+		cfg:      cfg,
+		sessions: make([]*driver.Session, n),
+		assigned: make([]float64, n),
+		budget:   cfg.BudgetWatts,
+		floor:    floor,
+	}
 	for i, spec := range cfg.Nodes {
 		if spec.Platform == nil || spec.NewController == nil {
 			return nil, fmt.Errorf("cluster: node %d (%s) missing platform or controller", i, spec.Name)
 		}
-		assigned[i] = cfg.BudgetWatts / float64(n)
+		c.assigned[i] = cfg.BudgetWatts / float64(n)
 		s, err := driver.NewSession(driver.Scenario{
 			Platform:   spec.Platform,
 			Specs:      spec.Specs,
-			CapWatts:   assigned[i],
+			CapWatts:   c.assigned[i],
 			Controller: spec.NewController(spec.Platform),
 			Seed:       cfg.Seed ^ (uint64(i) * 0x9e3779b97f4a7c15),
 		})
 		if err != nil {
 			return nil, fmt.Errorf("cluster: node %s: %w", spec.Name, err)
 		}
-		sessions[i] = s
+		c.sessions[i] = s
 	}
+	c.capTrace = append(c.capTrace, append([]float64(nil), c.assigned...))
+	return c, nil
+}
 
-	res := &Result{Policy: cfg.Policy.Name()}
-	res.CapTrace = append(res.CapTrace, append([]float64(nil), assigned...))
+// Now returns the cluster's simulated time.
+func (c *Coordinator) Now() time.Duration { return c.now }
 
-	for t := time.Duration(0); t < cfg.Duration; t += cfg.Epoch {
-		step := cfg.Epoch
-		if rem := cfg.Duration - t; rem < step {
-			step = rem
-		}
-		for _, s := range sessions {
-			s.Advance(step)
-		}
-		// Observe and rebalance.
-		meanPower := make([]float64, n)
-		for i, s := range sessions {
-			meanPower[i] = s.MeanPower(cfg.Epoch)
-		}
-		next := cfg.Policy.Rebalance(assigned, meanPower)
-		normalize(next, cfg.BudgetWatts, floor)
-		for i, s := range sessions {
-			if next[i] != assigned[i] {
-				if err := s.SetCap(next[i]); err != nil {
-					return nil, err
-				}
+// Budget returns the current global power budget.
+func (c *Coordinator) Budget() float64 { return c.budget }
+
+// Assignments returns a copy of the current per-node cap assignment.
+func (c *Coordinator) Assignments() []float64 {
+	return append([]float64(nil), c.assigned...)
+}
+
+// SetBudget changes the global power budget live. The new budget is
+// enforced immediately: the current assignment is rescaled to sum to it
+// (respecting the floor) and reprogrammed into every node.
+func (c *Coordinator) SetBudget(watts float64) error {
+	if err := driver.ValidateCap(watts); err != nil {
+		return fmt.Errorf("cluster: budget: %w", err)
+	}
+	if watts < c.floor*float64(len(c.sessions)) {
+		return fmt.Errorf("cluster: budget %.0f W cannot cover %d nodes at the %.0f W floor",
+			watts, len(c.sessions), c.floor)
+	}
+	c.budget = watts
+	next := append([]float64(nil), c.assigned...)
+	normalize(next, c.budget, c.floor)
+	return c.apply(next)
+}
+
+// SetNodeCap reassigns one node's cap directly, bypassing the policy; the
+// difference is taken from (or returned to) the other nodes on the next
+// Step's normalization.
+func (c *Coordinator) SetNodeCap(i int, watts float64) error {
+	if i < 0 || i >= len(c.sessions) {
+		return fmt.Errorf("cluster: no node %d", i)
+	}
+	if err := driver.ValidateCap(watts); err != nil {
+		return err
+	}
+	if watts < c.floor {
+		return fmt.Errorf("cluster: cap %.0f W below the %.0f W floor", watts, c.floor)
+	}
+	if err := c.sessions[i].SetCap(watts); err != nil {
+		return err
+	}
+	c.assigned[i] = watts
+	return nil
+}
+
+// Step advances every session by d of simulated time, then observes demand
+// and rebalances the assignment through the policy.
+func (c *Coordinator) Step(d time.Duration) error {
+	if d <= 0 {
+		return fmt.Errorf("cluster: step %v must be positive", d)
+	}
+	for _, s := range c.sessions {
+		s.Advance(d)
+	}
+	c.now += d
+	meanPower := make([]float64, len(c.sessions))
+	for i, s := range c.sessions {
+		meanPower[i] = s.MeanPower(c.cfg.Epoch)
+	}
+	next := c.cfg.Policy.Rebalance(c.assigned, meanPower)
+	normalize(next, c.budget, c.floor)
+	return c.apply(next)
+}
+
+// apply programs an assignment into the sessions and records it.
+func (c *Coordinator) apply(next []float64) error {
+	for i, s := range c.sessions {
+		if next[i] != c.assigned[i] {
+			if err := s.SetCap(next[i]); err != nil {
+				return err
 			}
-			assigned[i] = next[i]
 		}
-		res.CapTrace = append(res.CapTrace, append([]float64(nil), assigned...))
+		c.assigned[i] = next[i]
 	}
+	c.capTrace = append(c.capTrace, append([]float64(nil), c.assigned...))
+	return nil
+}
 
-	for i, s := range sessions {
+// Result assembles the cluster outcome over everything simulated so far.
+func (c *Coordinator) Result() *Result {
+	res := &Result{Policy: c.cfg.Policy.Name(), CapTrace: c.capTrace}
+	for i, s := range c.sessions {
 		nr := NodeResult{
-			Name:      cfg.Nodes[i].Name,
-			FinalCap:  assigned[i],
-			MeanPower: s.MeanPower(cfg.Epoch),
-			MeanRate:  s.MeanRate(cfg.Epoch),
+			Name:      c.cfg.Nodes[i].Name,
+			FinalCap:  c.assigned[i],
+			MeanPower: s.MeanPower(c.cfg.Epoch),
+			MeanRate:  s.MeanRate(c.cfg.Epoch),
 			Result:    s.Result(),
 		}
 		res.Nodes = append(res.Nodes, nr)
 		res.TotalRate += nr.MeanRate
 		res.TotalPower += nr.MeanPower
 	}
-	return res, nil
+	return res
+}
+
+// Run executes the cluster scenario to completion.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Duration <= 0 {
+		cfg.Duration = 60 * time.Second
+	}
+	c, err := NewCoordinator(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for t := time.Duration(0); t < cfg.Duration; t += c.cfg.Epoch {
+		step := c.cfg.Epoch
+		if rem := cfg.Duration - t; rem < step {
+			step = rem
+		}
+		if err := c.Step(step); err != nil {
+			return nil, err
+		}
+	}
+	return c.Result(), nil
 }
 
 // normalize rescales an assignment to sum to budget while respecting the

@@ -1,0 +1,110 @@
+package cluster
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"pupil/internal/driver"
+)
+
+// A Coordinator steps a live cluster and reassigns caps while it runs.
+func TestCoordinatorLiveBudget(t *testing.T) {
+	c, err := NewCoordinator(Config{
+		Nodes:       mixedCluster(t, "RAPL"),
+		BudgetWatts: 400,
+		Epoch:       2 * time.Second,
+		Seed:        7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := func(v []float64) float64 {
+		s := 0.0
+		for _, x := range v {
+			s += x
+		}
+		return s
+	}
+	if got := sum(c.Assignments()); math.Abs(got-400) > 1e-6 {
+		t.Fatalf("initial assignment sums to %g, want 400", got)
+	}
+	for i := 0; i < 3; i++ {
+		if err := c.Step(2 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Now() != 6*time.Second {
+		t.Errorf("Now = %v, want 6s", c.Now())
+	}
+
+	// Shrink the budget live: the assignment rescales immediately.
+	if err := c.SetBudget(240); err != nil {
+		t.Fatal(err)
+	}
+	if got := sum(c.Assignments()); math.Abs(got-240) > 1e-6 {
+		t.Errorf("assignment after SetBudget sums to %g, want 240", got)
+	}
+	if err := c.Step(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := sum(c.Assignments()); math.Abs(got-240) > 1e-6 {
+		t.Errorf("assignment after next Step sums to %g, want 240", got)
+	}
+
+	// Direct per-node reassignment bypasses the policy.
+	if err := c.SetNodeCap(0, 90); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Assignments()[0]; got != 90 {
+		t.Errorf("node 0 cap = %g, want 90", got)
+	}
+
+	res := c.Result()
+	if len(res.Nodes) != 4 {
+		t.Fatalf("Result has %d nodes, want 4", len(res.Nodes))
+	}
+	if res.TotalPower > 400*1.05 {
+		t.Errorf("total power %.1f W ignores budget", res.TotalPower)
+	}
+	if len(res.CapTrace) < 5 {
+		t.Errorf("CapTrace has %d entries, want >= 5", len(res.CapTrace))
+	}
+}
+
+func TestCoordinatorValidation(t *testing.T) {
+	if _, err := NewCoordinator(Config{Nodes: mixedCluster(t, "RAPL"), BudgetWatts: math.NaN()}); !errors.Is(err, driver.ErrInvalidCap) {
+		t.Errorf("NaN budget: err = %v, want ErrInvalidCap", err)
+	}
+	if _, err := NewCoordinator(Config{Nodes: mixedCluster(t, "RAPL"), BudgetWatts: math.Inf(1)}); !errors.Is(err, driver.ErrInvalidCap) {
+		t.Errorf("+Inf budget: err = %v, want ErrInvalidCap", err)
+	}
+	c, err := NewCoordinator(Config{Nodes: mixedCluster(t, "RAPL"), BudgetWatts: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []float64{-10, 0, math.NaN(), math.Inf(-1)} {
+		if err := c.SetBudget(bad); !errors.Is(err, driver.ErrInvalidCap) {
+			t.Errorf("SetBudget(%g) = %v, want ErrInvalidCap", bad, err)
+		}
+		if err := c.SetNodeCap(0, bad); !errors.Is(err, driver.ErrInvalidCap) {
+			t.Errorf("SetNodeCap(0, %g) = %v, want ErrInvalidCap", bad, err)
+		}
+	}
+	if err := c.SetBudget(50); err == nil {
+		t.Error("SetBudget accepted budget below the cluster floor")
+	}
+	if err := c.SetNodeCap(9, 100); err == nil {
+		t.Error("SetNodeCap accepted out-of-range node index")
+	}
+	if err := c.SetNodeCap(0, 1); err == nil {
+		t.Error("SetNodeCap accepted cap below the floor")
+	}
+	if err := c.Step(0); err == nil {
+		t.Error("Step accepted non-positive duration")
+	}
+	if got := c.Budget(); got != 400 {
+		t.Errorf("budget changed to %g by rejected SetBudget", got)
+	}
+}

@@ -12,6 +12,7 @@ package driver
 import (
 	"errors"
 	"fmt"
+	"math"
 	"time"
 
 	"pupil/internal/core"
@@ -22,6 +23,20 @@ import (
 	"pupil/internal/telemetry"
 	"pupil/internal/workload"
 )
+
+// ErrInvalidCap reports a power cap that is not a positive, finite number.
+// Callers at serving boundaries match it with errors.Is to map nonsense
+// caps to input errors instead of letting them flow into the RAPL model.
+var ErrInvalidCap = errors.New("invalid power cap")
+
+// ValidateCap rejects non-positive, NaN, and infinite power caps with an
+// error wrapping ErrInvalidCap.
+func ValidateCap(watts float64) error {
+	if math.IsNaN(watts) || math.IsInf(watts, 0) || watts <= 0 {
+		return fmt.Errorf("driver: cap %g W: %w (must be positive and finite)", watts, ErrInvalidCap)
+	}
+	return nil
+}
 
 // Sampling and evaluation cadence of the harness.
 const (
@@ -139,8 +154,8 @@ func Run(s Scenario) (Result, error) {
 	if err := s.Platform.Validate(); err != nil {
 		return Result{}, err
 	}
-	if s.CapWatts <= 0 {
-		return Result{}, fmt.Errorf("driver: cap %g W must be positive", s.CapWatts)
+	if err := ValidateCap(s.CapWatts); err != nil {
+		return Result{}, err
 	}
 	if s.Controller == nil {
 		return Result{}, errors.New("driver: scenario has no controller")

@@ -2,9 +2,9 @@ package driver
 
 import (
 	"errors"
-	"fmt"
 	"time"
 
+	"pupil/internal/machine"
 	"pupil/internal/sim"
 	"pupil/internal/workload"
 )
@@ -31,8 +31,8 @@ func NewSession(s Scenario) (*Session, error) {
 	if err := s.Platform.Validate(); err != nil {
 		return nil, err
 	}
-	if s.CapWatts <= 0 {
-		return nil, fmt.Errorf("driver: cap %g W must be positive", s.CapWatts)
+	if err := ValidateCap(s.CapWatts); err != nil {
+		return nil, err
 	}
 	if s.Controller == nil {
 		return nil, errors.New("driver: session has no controller")
@@ -71,8 +71,8 @@ func (s *Session) Cap() float64 { return s.w.capW }
 // value through its environment on its next decision interval (controllers
 // re-program hardware and, for large changes, re-explore).
 func (s *Session) SetCap(watts float64) error {
-	if watts <= 0 {
-		return fmt.Errorf("driver: cap %g W must be positive", watts)
+	if err := ValidateCap(watts); err != nil {
+		return err
 	}
 	s.w.capW = watts
 	return nil
@@ -124,6 +124,56 @@ func (s *Session) MeanRate(window time.Duration) float64 {
 		total += tr.MeanBetween(from, s.Now()+1)
 	}
 	return total
+}
+
+// Snapshot is an instantaneous, copyable view of a session — the
+// introspection hook a serving layer reads between Advances without
+// reaching into the simulated world.
+type Snapshot struct {
+	// Now is the session's simulated time.
+	Now time.Duration
+	// CapWatts is the cap currently being enforced.
+	CapWatts float64
+	// PowerWatts is the node's current true power draw.
+	PowerWatts float64
+	// Rates are the current per-application true work rates.
+	Rates []float64
+	// Config is the active hardware configuration (software configuration
+	// merged with firmware-owned operating points).
+	Config machine.Config
+	// EnergyJ is total energy consumed so far.
+	EnergyJ float64
+	// Apps names the running applications, in launch order.
+	Apps []string
+}
+
+// TotalRate sums the snapshot's per-application rates.
+func (sn Snapshot) TotalRate() float64 {
+	t := 0.0
+	for _, r := range sn.Rates {
+		t += r
+	}
+	return t
+}
+
+// Snapshot captures the session's current state.
+func (s *Session) Snapshot() Snapshot {
+	if s.w.evalStale {
+		s.w.refresh(s.Now())
+	}
+	apps := make([]string, len(s.w.apps))
+	for i, a := range s.w.apps {
+		apps[i] = a.Profile.Name
+	}
+	return Snapshot{
+		Now:        s.Now(),
+		CapWatts:   s.w.capW,
+		PowerWatts: s.w.eval.PowerTotal,
+		Rates:      append([]float64(nil), s.w.eval.Rates...),
+		Config:     s.w.active.Clone(),
+		EnergyJ:    s.w.energyJ,
+		Apps:       apps,
+	}
 }
 
 // Result assembles metrics over everything simulated so far, as Run would.

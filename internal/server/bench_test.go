@@ -1,0 +1,58 @@
+package server
+
+import (
+	"testing"
+
+	"pupil/internal/telemetry"
+)
+
+func benchNode(b *testing.B, subscribers int) *Node {
+	b.Helper()
+	sess, cfg, apps, err := buildSession(NodeConfig{
+		Technique: "RAPL",
+		CapWatts:  130,
+		Workloads: []WorkloadConfig{{Benchmark: "blackscholes", Threads: 32}},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := &Node{
+		id:      "bench",
+		cfg:     cfg,
+		apps:    apps,
+		tickSim: DefaultTickSim,
+		sess:    sess,
+		state:   StateRunning,
+		fan:     telemetry.NewFanout[Sample](),
+		done:    make(chan struct{}),
+	}
+	for i := 0; i < subscribers; i++ {
+		n.Subscribe(8) // unread: exercises the drop path, as a stalled client would
+	}
+	return n
+}
+
+// BenchmarkServerTick measures one session-manager tick: advancing the
+// simulated node by DefaultTickSim and publishing the sample.
+func BenchmarkServerTick(b *testing.B) {
+	n := benchNode(b, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !n.tick() {
+			b.Fatal("node stopped during benchmark")
+		}
+	}
+	b.ReportMetric(float64(n.Epoch()), "epochs")
+}
+
+// BenchmarkServerTickFanout is the same tick with stalled subscribers
+// attached — the worst case the bounded ring buffers are there for.
+func BenchmarkServerTickFanout(b *testing.B) {
+	n := benchNode(b, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !n.tick() {
+			b.Fatal("node stopped during benchmark")
+		}
+	}
+}

@@ -1,0 +1,519 @@
+// Package server is the pupild control plane: a session manager that owns
+// concurrently running simulated nodes, an HTTP REST API to create them,
+// change their power caps live, and stream per-epoch telemetry, and a
+// Prometheus-style text exporter.
+//
+// The library runs power-capping scenarios in-process to completion; real
+// power-capping deployments are long-running services whose caps external
+// agents change at runtime. This package closes that gap: each node is a
+// driver.Session advanced by its own goroutine in wall-clock-decoupled
+// ticks, with cap changes and introspection serialized against the tick
+// loop, and samples fanned out to subscribers over bounded ring buffers so
+// a slow stream consumer drops samples instead of stalling the simulation.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pupil/internal/control"
+	"pupil/internal/core"
+	"pupil/internal/driver"
+	"pupil/internal/machine"
+	"pupil/internal/telemetry"
+	"pupil/internal/workload"
+)
+
+// Errors the HTTP layer maps to status codes.
+var (
+	// ErrNotFound reports an unknown node ID.
+	ErrNotFound = errors.New("server: node not found")
+	// ErrBadConfig reports an invalid node configuration.
+	ErrBadConfig = errors.New("server: bad node config")
+	// ErrClosed reports an operation on a closed manager.
+	ErrClosed = errors.New("server: manager closed")
+)
+
+// Defaults for node tick pacing.
+const (
+	// DefaultTickSim is the simulated time advanced per tick.
+	DefaultTickSim = 250 * time.Millisecond
+	// DefaultTickReal is the wall-clock interval between ticks; together
+	// with DefaultTickSim a node runs at 5x real time.
+	DefaultTickReal = 50 * time.Millisecond
+)
+
+// WorkloadConfig names one application to run on a node.
+type WorkloadConfig struct {
+	Benchmark string `json:"benchmark"`
+	// Threads defaults to the platform's hardware thread count.
+	Threads int `json:"threads,omitempty"`
+}
+
+// NodeConfig describes a node to create.
+type NodeConfig struct {
+	// Name is an optional human label; the manager assigns the ID.
+	Name string `json:"name,omitempty"`
+	// Platform is "server" (the default dual-socket Xeon E5-2690) or
+	// "mobile" (the dark-silicon SoC).
+	Platform string `json:"platform,omitempty"`
+	// Technique selects the controller: RAPL, Soft-DVFS, Soft-Modeling,
+	// Soft-Decision, PUPiL (default), or PUPiL-EAS.
+	Technique string `json:"technique,omitempty"`
+	// Mix launches a named Table-4 multi-application mix; mutually
+	// exclusive with Workloads.
+	Mix string `json:"mix,omitempty"`
+	// Workloads launches the listed benchmarks together.
+	Workloads []WorkloadConfig `json:"workloads,omitempty"`
+	// CapWatts is the node's initial power cap.
+	CapWatts float64 `json:"cap_watts"`
+	// Seed makes the node's run reproducible.
+	Seed uint64 `json:"seed,omitempty"`
+	// TickSimMS is simulated milliseconds advanced per tick (default 250).
+	TickSimMS int `json:"tick_sim_ms,omitempty"`
+	// TickRealMS is the wall-clock tick interval in milliseconds (default
+	// 50). FreeRun overrides it.
+	TickRealMS int `json:"tick_real_ms,omitempty"`
+	// FreeRun ticks as fast as the host allows — for tests and batch use.
+	FreeRun bool `json:"free_run,omitempty"`
+	// MaxSimS stops the node after this much simulated time; 0 runs until
+	// deleted.
+	MaxSimS float64 `json:"max_sim_s,omitempty"`
+}
+
+// Sample is one per-tick telemetry record pushed to stream subscribers.
+type Sample struct {
+	Node  string `json:"node"`
+	Epoch uint64 `json:"epoch"`
+	// SimS is the node's simulated time in seconds.
+	SimS float64 `json:"sim_s"`
+	// CapWatts is the cap in force when the sample was taken.
+	CapWatts float64 `json:"cap_watts"`
+	// PowerWatts is the instantaneous true power draw.
+	PowerWatts float64 `json:"power_watts"`
+	// MeanPowerWatts averages true power over the tick just simulated.
+	MeanPowerWatts float64 `json:"mean_power_watts"`
+	// PerfHBs is the aggregate true work rate (heartbeats/s).
+	PerfHBs float64 `json:"perf_hbs"`
+	// Dropped counts samples this subscriber lost to a full buffer; it is
+	// filled in by the streaming layer, not the producer.
+	Dropped uint64 `json:"dropped,omitempty"`
+}
+
+// State is a node's lifecycle phase.
+type State string
+
+// Node lifecycle states.
+const (
+	StateRunning State = "running" // tick loop advancing
+	StateDone    State = "done"    // reached MaxSimS; state still queryable
+	StateStopped State = "stopped" // cancelled by delete or shutdown
+)
+
+// NodeStatus is the API view of a node.
+type NodeStatus struct {
+	ID             string   `json:"id"`
+	Name           string   `json:"name,omitempty"`
+	State          State    `json:"state"`
+	Platform       string   `json:"platform"`
+	Technique      string   `json:"technique"`
+	Workloads      []string `json:"workloads"`
+	Epoch          uint64   `json:"epoch"`
+	SimS           float64  `json:"sim_s"`
+	CapWatts       float64  `json:"cap_watts"`
+	PowerWatts     float64  `json:"power_watts"`
+	MeanPowerWatts float64  `json:"mean_power_watts"`
+	PerfHBs        float64  `json:"perf_hbs"`
+	EnergyJ        float64  `json:"energy_j"`
+	Subscribers    int      `json:"subscribers"`
+}
+
+// Node is one live simulated machine owned by the manager.
+type Node struct {
+	id       string
+	cfg      NodeConfig
+	apps     []string
+	tickSim  time.Duration
+	tickReal time.Duration
+	maxSim   time.Duration
+
+	mu    sync.Mutex // guards sess, last, state
+	sess  *driver.Session
+	last  Sample
+	state State
+
+	epoch  atomic.Uint64
+	fan    *telemetry.Fanout[Sample]
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// ID returns the manager-assigned node ID.
+func (n *Node) ID() string { return n.id }
+
+// Epoch returns how many ticks the node has simulated.
+func (n *Node) Epoch() uint64 { return n.epoch.Load() }
+
+// Done is closed when the node's tick loop has exited.
+func (n *Node) Done() <-chan struct{} { return n.done }
+
+// SetCap changes the node's power cap live; the controller observes it on
+// its next decision interval.
+func (n *Node) SetCap(watts float64) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.sess.SetCap(watts)
+}
+
+// Subscribe registers a telemetry subscriber with the given ring-buffer
+// capacity. The subscriber's channel closes when the node stops.
+func (n *Node) Subscribe(buffer int) *telemetry.Subscriber[Sample] {
+	return n.fan.Subscribe(buffer)
+}
+
+// Status reports the node's current state.
+func (n *Node) Status() NodeStatus {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	sn := n.sess.Snapshot()
+	return NodeStatus{
+		ID:             n.id,
+		Name:           n.cfg.Name,
+		State:          n.state,
+		Platform:       n.cfg.Platform,
+		Technique:      n.cfg.Technique,
+		Workloads:      n.apps,
+		Epoch:          n.epoch.Load(),
+		SimS:           sn.Now.Seconds(),
+		CapWatts:       sn.CapWatts,
+		PowerWatts:     sn.PowerWatts,
+		MeanPowerWatts: n.last.MeanPowerWatts,
+		PerfHBs:        sn.TotalRate(),
+		EnergyJ:        sn.EnergyJ,
+		Subscribers:    n.fan.Subscribers(),
+	}
+}
+
+// tick advances the session one increment and publishes a sample. It
+// reports whether the loop should continue.
+func (n *Node) tick() bool {
+	n.mu.Lock()
+	if n.state != StateRunning {
+		n.mu.Unlock()
+		return false
+	}
+	n.sess.Advance(n.tickSim)
+	sn := n.sess.Snapshot()
+	smp := Sample{
+		Node:           n.id,
+		Epoch:          n.epoch.Add(1),
+		SimS:           sn.Now.Seconds(),
+		CapWatts:       sn.CapWatts,
+		PowerWatts:     sn.PowerWatts,
+		MeanPowerWatts: n.sess.MeanPower(n.tickSim),
+		PerfHBs:        sn.TotalRate(),
+	}
+	n.last = smp
+	if n.maxSim > 0 && sn.Now >= n.maxSim {
+		n.state = StateDone
+	}
+	cont := n.state == StateRunning
+	n.mu.Unlock()
+	n.fan.Publish(smp)
+	return cont
+}
+
+// run is the node's tick loop. Ticks are decoupled from wall-clock
+// progress: each tick advances tickSim of simulated time, paced every
+// tickReal of real time (or back-to-back when free-running).
+func (n *Node) run(ctx context.Context) {
+	defer close(n.done)
+	defer n.fan.Close()
+	var tickC <-chan time.Time
+	if n.tickReal > 0 {
+		t := time.NewTicker(n.tickReal)
+		defer t.Stop()
+		tickC = t.C
+	}
+	for {
+		if tickC != nil {
+			select {
+			case <-ctx.Done():
+				n.setState(StateStopped)
+				return
+			case <-tickC:
+			}
+		} else {
+			select {
+			case <-ctx.Done():
+				n.setState(StateStopped)
+				return
+			default:
+			}
+		}
+		if !n.tick() {
+			return
+		}
+	}
+}
+
+func (n *Node) setState(s State) {
+	n.mu.Lock()
+	if n.state == StateRunning {
+		n.state = s
+	}
+	n.mu.Unlock()
+}
+
+// Manager owns the live nodes: a mutex-guarded registry plus one goroutine
+// per node, with context-based cancellation and a graceful Close that
+// drains every tick loop.
+type Manager struct {
+	mu     sync.Mutex
+	nodes  map[string]*Node
+	order  []string // creation order, for stable listings
+	nextID int
+	closed bool
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	created atomic.Uint64
+	deleted atomic.Uint64
+}
+
+// NewManager returns an empty manager ready to create nodes.
+func NewManager() *Manager {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Manager{nodes: make(map[string]*Node), ctx: ctx, cancel: cancel}
+}
+
+// Create builds a node from its configuration and starts its tick loop.
+func (m *Manager) Create(cfg NodeConfig) (*Node, error) {
+	sess, cfg, apps, err := buildSession(cfg)
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{
+		cfg:      cfg,
+		apps:     apps,
+		tickSim:  DefaultTickSim,
+		tickReal: DefaultTickReal,
+		sess:     sess,
+		state:    StateRunning,
+		fan:      telemetry.NewFanout[Sample](),
+		done:     make(chan struct{}),
+	}
+	if cfg.TickSimMS > 0 {
+		n.tickSim = time.Duration(cfg.TickSimMS) * time.Millisecond
+	}
+	if cfg.TickRealMS > 0 {
+		n.tickReal = time.Duration(cfg.TickRealMS) * time.Millisecond
+	}
+	if cfg.FreeRun {
+		n.tickReal = 0
+	}
+	if cfg.MaxSimS > 0 {
+		n.maxSim = time.Duration(cfg.MaxSimS * float64(time.Second))
+	}
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, ErrClosed
+	}
+	m.nextID++
+	n.id = fmt.Sprintf("n%d", m.nextID)
+	ctx, cancel := context.WithCancel(m.ctx)
+	n.cancel = cancel
+	m.nodes[n.id] = n
+	m.order = append(m.order, n.id)
+	m.wg.Add(1)
+	m.mu.Unlock()
+
+	m.created.Add(1)
+	go func() {
+		defer m.wg.Done()
+		n.run(ctx)
+	}()
+	return n, nil
+}
+
+// Get looks a node up by ID.
+func (m *Manager) Get(id string) (*Node, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n, ok := m.nodes[id]
+	return n, ok
+}
+
+// Nodes lists the live nodes in creation order.
+func (m *Manager) Nodes() []*Node {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Node, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.nodes[id])
+	}
+	return out
+}
+
+// Len reports the number of live nodes.
+func (m *Manager) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.nodes)
+}
+
+// Created and Deleted report lifetime counters for the exporter.
+func (m *Manager) Created() uint64 { return m.created.Load() }
+
+// Deleted reports how many nodes have been torn down.
+func (m *Manager) Deleted() uint64 { return m.deleted.Load() }
+
+// Delete stops a node's tick loop, waits for it to drain, and removes it
+// from the registry.
+func (m *Manager) Delete(id string) error {
+	m.mu.Lock()
+	n, ok := m.nodes[id]
+	if ok {
+		delete(m.nodes, id)
+		for i, v := range m.order {
+			if v == id {
+				m.order = append(m.order[:i], m.order[i+1:]...)
+				break
+			}
+		}
+	}
+	m.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	n.cancel()
+	<-n.done
+	m.deleted.Add(1)
+	return nil
+}
+
+// Close shuts the manager down gracefully: no new nodes are accepted,
+// every tick loop is cancelled and drained, and all stream subscribers see
+// their channels close. Close is idempotent.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		m.wg.Wait()
+		return
+	}
+	m.closed = true
+	m.mu.Unlock()
+	m.cancel()
+	m.wg.Wait()
+}
+
+// buildSession turns a NodeConfig into a live driver session, returning
+// the normalized config and the resolved workload names.
+func buildSession(cfg NodeConfig) (*driver.Session, NodeConfig, []string, error) {
+	plat, err := platformByName(cfg.Platform)
+	if err != nil {
+		return nil, cfg, nil, err
+	}
+	if cfg.Platform == "" {
+		cfg.Platform = "server"
+	}
+	if cfg.Technique == "" {
+		cfg.Technique = "PUPiL"
+	}
+	ctrl, err := newController(cfg.Technique, plat)
+	if err != nil {
+		return nil, cfg, nil, err
+	}
+	specs, err := resolveWorkloads(cfg, plat)
+	if err != nil {
+		return nil, cfg, nil, err
+	}
+	apps := make([]string, len(specs))
+	for i, s := range specs {
+		apps[i] = s.Profile.Name
+	}
+	sess, err := driver.NewSession(driver.Scenario{
+		Platform:   plat,
+		Specs:      specs,
+		CapWatts:   cfg.CapWatts,
+		Controller: ctrl,
+		Seed:       cfg.Seed,
+	})
+	if err != nil {
+		return nil, cfg, nil, err
+	}
+	return sess, cfg, apps, nil
+}
+
+func platformByName(name string) (*machine.Platform, error) {
+	switch strings.ToLower(name) {
+	case "", "server", "default", "e5-2690":
+		return machine.E52690Server(), nil
+	case "mobile", "soc":
+		return machine.MobileSoC(), nil
+	}
+	return nil, fmt.Errorf("%w: unknown platform %q (want server or mobile)", ErrBadConfig, name)
+}
+
+// newController mirrors the public API's technique table against the
+// internal packages (the server cannot import the root package).
+func newController(technique string, p *machine.Platform) (core.Controller, error) {
+	switch technique {
+	case "RAPL":
+		return control.NewRAPLOnly(), nil
+	case "Soft-DVFS":
+		return control.NewSoftDVFS(), nil
+	case "Soft-Modeling":
+		return control.TrainSoftModeling(p, 1)
+	case "Soft-Decision":
+		return core.NewSoftDecision(core.DefaultOrdered(p)), nil
+	case "PUPiL":
+		return core.NewPUPiL(core.DefaultOrdered(p)), nil
+	case "PUPiL-EAS":
+		return core.NewPUPiLEAS(core.DefaultOrdered(p)), nil
+	}
+	return nil, fmt.Errorf("%w: unknown technique %q", ErrBadConfig, technique)
+}
+
+func resolveWorkloads(cfg NodeConfig, p *machine.Platform) ([]workload.Spec, error) {
+	if cfg.Mix != "" && len(cfg.Workloads) > 0 {
+		return nil, fmt.Errorf("%w: mix and workloads are mutually exclusive", ErrBadConfig)
+	}
+	if cfg.Mix != "" {
+		m, err := workload.MixByName(cfg.Mix)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+		}
+		profiles, err := m.Profiles()
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+		}
+		return workload.Specs(profiles, p.HWThreads()), nil
+	}
+	if len(cfg.Workloads) == 0 {
+		return nil, fmt.Errorf("%w: node has no workloads (set mix or workloads)", ErrBadConfig)
+	}
+	specs := make([]workload.Spec, len(cfg.Workloads))
+	for i, w := range cfg.Workloads {
+		prof, err := workload.ByName(w.Benchmark)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+		}
+		threads := w.Threads
+		if threads <= 0 {
+			threads = p.HWThreads()
+		}
+		specs[i] = workload.Spec{Profile: prof, Threads: threads}
+	}
+	return specs, nil
+}

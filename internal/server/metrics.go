@@ -1,0 +1,57 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// The exporter follows the Prometheus text exposition conventions of the
+// RAPL-exporter exemplar: one HELP/TYPE header per family, one sample per
+// node labeled node="<id>", plus server-level counters. Everything is
+// rendered from live NodeStatus snapshots at scrape time; there is no
+// separate metrics store to drift out of sync.
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.writeMetrics(w)
+}
+
+func (s *Server) writeMetrics(w io.Writer) {
+	nodes := s.mgr.Nodes()
+	statuses := make([]NodeStatus, len(nodes))
+	for i, n := range nodes {
+		statuses[i] = n.Status()
+	}
+
+	gauge := func(name, help string, value func(NodeStatus) float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+		for _, st := range statuses {
+			fmt.Fprintf(w, "%s{node=%q} %g\n", name, st.ID, value(st))
+		}
+	}
+	gauge("pupil_power_watts", "Instantaneous simulated node power draw in Watts.",
+		func(st NodeStatus) float64 { return st.PowerWatts })
+	gauge("pupil_cap_watts", "Power cap currently enforced on the node in Watts.",
+		func(st NodeStatus) float64 { return st.CapWatts })
+	gauge("pupil_perf_hbs", "Aggregate node work rate in heartbeats per second.",
+		func(st NodeStatus) float64 { return st.PerfHBs })
+	gauge("pupil_sim_seconds", "Simulated time the node has advanced, in seconds.",
+		func(st NodeStatus) float64 { return st.SimS })
+	gauge("pupil_stream_subscribers", "Live telemetry stream subscribers on the node.",
+		func(st NodeStatus) float64 { return float64(st.Subscribers) })
+
+	fmt.Fprintf(w, "# HELP pupil_energy_joules_total Total simulated energy consumed by the node.\n# TYPE pupil_energy_joules_total counter\n")
+	for _, st := range statuses {
+		fmt.Fprintf(w, "pupil_energy_joules_total{node=%q} %g\n", st.ID, st.EnergyJ)
+	}
+	fmt.Fprintf(w, "# HELP pupil_epochs_total Simulation ticks the node has executed.\n# TYPE pupil_epochs_total counter\n")
+	for _, st := range statuses {
+		fmt.Fprintf(w, "pupil_epochs_total{node=%q} %d\n", st.ID, st.Epoch)
+	}
+
+	fmt.Fprintf(w, "# HELP pupil_nodes Live simulated nodes.\n# TYPE pupil_nodes gauge\npupil_nodes %d\n", len(statuses))
+	fmt.Fprintf(w, "# HELP pupil_nodes_created_total Nodes created since server start.\n# TYPE pupil_nodes_created_total counter\npupil_nodes_created_total %d\n", s.mgr.Created())
+	fmt.Fprintf(w, "# HELP pupil_nodes_deleted_total Nodes deleted since server start.\n# TYPE pupil_nodes_deleted_total counter\npupil_nodes_deleted_total %d\n", s.mgr.Deleted())
+	fmt.Fprintf(w, "# HELP pupil_http_requests_total HTTP requests served.\n# TYPE pupil_http_requests_total counter\npupil_http_requests_total %d\n", s.requests.Load())
+}

@@ -1,0 +1,207 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+
+	"pupil/internal/driver"
+)
+
+// Server is the HTTP control plane over a Manager.
+type Server struct {
+	mgr      *Manager
+	mux      *http.ServeMux
+	requests atomic.Uint64
+}
+
+// New wires the API routes over the manager.
+func New(mgr *Manager) *Server {
+	s := &Server{mgr: mgr, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /health", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("POST /v1/nodes", s.handleCreate)
+	s.mux.HandleFunc("GET /v1/nodes", s.handleList)
+	s.mux.HandleFunc("GET /v1/nodes/{id}", s.handleGet)
+	s.mux.HandleFunc("PUT /v1/nodes/{id}/cap", s.handleSetCap)
+	s.mux.HandleFunc("DELETE /v1/nodes/{id}", s.handleDelete)
+	s.mux.HandleFunc("GET /v1/nodes/{id}/stream", s.handleStream)
+	return s
+}
+
+// Handler returns the root handler (with the request-counting middleware
+// the exporter reports).
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+// writeJSON encodes v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// apiError is the uniform error body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// writeError maps an error to its HTTP status: unknown node → 404, invalid
+// cap or config → 400, closed manager → 503.
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrBadConfig), errors.Is(err, driver.ErrInvalidCap):
+		status = http.StatusBadRequest
+	case errors.Is(err, ErrClosed):
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, apiError{Error: err.Error()})
+}
+
+func (s *Server) node(w http.ResponseWriter, r *http.Request) (*Node, bool) {
+	id := r.PathValue("id")
+	n, ok := s.mgr.Get(id)
+	if !ok {
+		writeError(w, fmt.Errorf("%w: %s", ErrNotFound, id))
+		return nil, false
+	}
+	return n, true
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "nodes": s.mgr.Len()})
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var cfg NodeConfig
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		writeError(w, fmt.Errorf("%w: %v", ErrBadConfig, err))
+		return
+	}
+	n, err := s.mgr.Create(cfg)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, n.Status())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	nodes := s.mgr.Nodes()
+	statuses := make([]NodeStatus, len(nodes))
+	for i, n := range nodes {
+		statuses[i] = n.Status()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"nodes": statuses})
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	n, ok := s.node(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, n.Status())
+}
+
+func (s *Server) handleSetCap(w http.ResponseWriter, r *http.Request) {
+	n, ok := s.node(w, r)
+	if !ok {
+		return
+	}
+	var body struct {
+		CapWatts float64 `json:"cap_watts"`
+	}
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&body); err != nil {
+		writeError(w, fmt.Errorf("%w: %v", ErrBadConfig, err))
+		return
+	}
+	if err := n.SetCap(body.CapWatts); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, n.Status())
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.mgr.Delete(id); err != nil {
+		writeError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleStream pushes per-tick samples as newline-delimited JSON until the
+// client disconnects, the node stops, or ?max=N samples have been sent.
+// ?buffer=N sizes the subscriber's ring buffer (default 64); a consumer
+// slower than the tick rate loses the oldest samples, reported in each
+// record's dropped counter.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	n, ok := s.node(w, r)
+	if !ok {
+		return
+	}
+	buffer := 64
+	if v := r.URL.Query().Get("buffer"); v != "" {
+		b, err := strconv.Atoi(v)
+		if err != nil || b < 1 {
+			writeError(w, fmt.Errorf("%w: bad buffer %q", ErrBadConfig, v))
+			return
+		}
+		buffer = b
+	}
+	max := 0
+	if v := r.URL.Query().Get("max"); v != "" {
+		mx, err := strconv.Atoi(v)
+		if err != nil || mx < 1 {
+			writeError(w, fmt.Errorf("%w: bad max %q", ErrBadConfig, v))
+			return
+		}
+		max = mx
+	}
+
+	sub := n.Subscribe(buffer)
+	defer sub.Cancel()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	sent := 0
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case smp, open := <-sub.C():
+			if !open {
+				return
+			}
+			smp.Dropped = sub.Dropped()
+			if err := enc.Encode(smp); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			sent++
+			if max > 0 && sent >= max {
+				return
+			}
+		}
+	}
+}

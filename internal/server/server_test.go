@@ -1,0 +1,255 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func testClient(t *testing.T) (*Manager, *httptest.Server) {
+	t.Helper()
+	mgr := NewManager()
+	ts := httptest.NewServer(New(mgr).Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		mgr.Close()
+	})
+	return mgr, ts
+}
+
+func doJSON(t *testing.T, method, url, body string) (*http.Response, map[string]any) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out := map[string]any{}
+	_ = json.NewDecoder(resp.Body).Decode(&out)
+	return resp, out
+}
+
+// The acceptance scenario: create a node over REST, lower its cap mid-run,
+// observe the change both in the streamed samples and in /metrics, delete
+// the node, and shut down gracefully.
+func TestEndToEnd(t *testing.T) {
+	mgr, ts := testClient(t)
+
+	resp, created := doJSON(t, "POST", ts.URL+"/v1/nodes", `{
+		"name": "web-1", "technique": "RAPL", "cap_watts": 140,
+		"workloads": [{"benchmark": "blackscholes", "threads": 32}],
+		"free_run": true, "seed": 3
+	}`)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: status %d body %v", resp.StatusCode, created)
+	}
+	id, _ := created["id"].(string)
+	if id == "" {
+		t.Fatalf("create returned no id: %v", created)
+	}
+	if created["state"] != string(StateRunning) {
+		t.Errorf("created node state = %v", created["state"])
+	}
+
+	// Stream samples; after a few ticks, lower the cap to 100 W from a
+	// second request and watch the stream pick it up.
+	stream, err := http.Get(ts.URL + "/v1/nodes/" + id + "/stream?buffer=256")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Body.Close()
+	if ct := stream.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("stream content type %q", ct)
+	}
+	sc := bufio.NewScanner(stream.Body)
+	var capChangedAt float64
+	lowered, enforced := false, false
+	for i := 0; i < 4000 && sc.Scan(); i++ {
+		var smp Sample
+		if err := json.Unmarshal(sc.Bytes(), &smp); err != nil {
+			t.Fatalf("bad stream line %q: %v", sc.Text(), err)
+		}
+		if smp.Node != id || smp.SimS <= 0 {
+			t.Fatalf("malformed sample %+v", smp)
+		}
+		if !lowered && smp.Epoch >= 8 {
+			r, body := doJSON(t, "PUT", ts.URL+"/v1/nodes/"+id+"/cap", `{"cap_watts": 100}`)
+			if r.StatusCode != http.StatusOK {
+				t.Fatalf("set cap: status %d body %v", r.StatusCode, body)
+			}
+			lowered = true
+			capChangedAt = smp.SimS
+		}
+		if lowered && smp.CapWatts == 100 && smp.SimS > capChangedAt+8 && smp.MeanPowerWatts <= 100*1.1 {
+			enforced = true
+			break
+		}
+	}
+	if !lowered {
+		t.Fatal("stream never delivered 8 epochs")
+	}
+	if !enforced {
+		t.Fatal("stream never showed the 100 W cap enforced")
+	}
+
+	// The exporter reflects the new cap.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mbody strings.Builder
+	msc := bufio.NewScanner(mresp.Body)
+	for msc.Scan() {
+		mbody.WriteString(msc.Text() + "\n")
+	}
+	mresp.Body.Close()
+	metrics := mbody.String()
+	for _, want := range []string{
+		fmt.Sprintf("pupil_cap_watts{node=%q} 100\n", id),
+		fmt.Sprintf("pupil_power_watts{node=%q} ", id),
+		fmt.Sprintf("pupil_perf_hbs{node=%q} ", id),
+		"# TYPE pupil_power_watts gauge",
+		"pupil_nodes 1",
+		"pupil_nodes_created_total 1",
+		"pupil_http_requests_total",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, metrics)
+		}
+	}
+
+	// Inspect, then tear down.
+	r, got := doJSON(t, "GET", ts.URL+"/v1/nodes/"+id, "")
+	if r.StatusCode != http.StatusOK || got["cap_watts"].(float64) != 100 {
+		t.Errorf("get: status %d body %v", r.StatusCode, got)
+	}
+	r, list := doJSON(t, "GET", ts.URL+"/v1/nodes", "")
+	if r.StatusCode != http.StatusOK || len(list["nodes"].([]any)) != 1 {
+		t.Errorf("list: status %d body %v", r.StatusCode, list)
+	}
+	r, _ = doJSON(t, "DELETE", ts.URL+"/v1/nodes/"+id, "")
+	if r.StatusCode != http.StatusNoContent {
+		t.Errorf("delete: status %d", r.StatusCode)
+	}
+	// The open stream ends once the node is gone.
+	for sc.Scan() {
+	}
+	r, h := doJSON(t, "GET", ts.URL+"/health", "")
+	if r.StatusCode != http.StatusOK || h["status"] != "ok" || h["nodes"].(float64) != 0 {
+		t.Errorf("health: status %d body %v", r.StatusCode, h)
+	}
+
+	// Graceful shutdown drains everything; the manager then refuses work.
+	mgr.Close()
+	if _, err := mgr.Create(NodeConfig{CapWatts: 100}); err == nil {
+		t.Error("Create after Close succeeded")
+	}
+}
+
+// Every malformed request is rejected with the right status before it can
+// reach the RAPL model.
+func TestAPIValidation(t *testing.T) {
+	_, ts := testClient(t)
+	ok := `{"technique": "RAPL", "cap_watts": 140, "free_run": true,
+		"workloads": [{"benchmark": "blackscholes"}]}`
+	cases := []struct {
+		name, method, path, body string
+		want                     int
+	}{
+		{"zero cap", "POST", "/v1/nodes", `{"cap_watts": 0, "workloads": [{"benchmark": "x264"}]}`, 400},
+		{"negative cap", "POST", "/v1/nodes", `{"cap_watts": -5, "workloads": [{"benchmark": "x264"}]}`, 400},
+		{"no workloads", "POST", "/v1/nodes", `{"cap_watts": 140}`, 400},
+		{"unknown benchmark", "POST", "/v1/nodes", `{"cap_watts": 140, "workloads": [{"benchmark": "nope"}]}`, 400},
+		{"unknown technique", "POST", "/v1/nodes", `{"cap_watts": 140, "technique": "magic", "workloads": [{"benchmark": "x264"}]}`, 400},
+		{"unknown platform", "POST", "/v1/nodes", `{"cap_watts": 140, "platform": "mainframe", "workloads": [{"benchmark": "x264"}]}`, 400},
+		{"mix and workloads", "POST", "/v1/nodes", `{"cap_watts": 140, "mix": "mix1", "workloads": [{"benchmark": "x264"}]}`, 400},
+		{"unknown mix", "POST", "/v1/nodes", `{"cap_watts": 140, "mix": "nope"}`, 400},
+		{"unknown field", "POST", "/v1/nodes", `{"cap_watts": 140, "wat": 1}`, 400},
+		{"bad json", "POST", "/v1/nodes", `{`, 400},
+		{"create ok", "POST", "/v1/nodes", ok, 201},
+		{"cap on missing node", "PUT", "/v1/nodes/n999/cap", `{"cap_watts": 100}`, 404},
+		{"get missing node", "GET", "/v1/nodes/n999", "", 404},
+		{"delete missing node", "DELETE", "/v1/nodes/n999", "", 404},
+		{"stream missing node", "GET", "/v1/nodes/n999/stream", "", 404},
+		{"negative cap update", "PUT", "/v1/nodes/n1/cap", `{"cap_watts": -1}`, 400},
+		{"zero cap update", "PUT", "/v1/nodes/n1/cap", `{"cap_watts": 0}`, 400},
+		{"bad cap body", "PUT", "/v1/nodes/n1/cap", `nope`, 400},
+		{"bad stream buffer", "GET", "/v1/nodes/n1/stream?buffer=0", "", 400},
+		{"bad stream max", "GET", "/v1/nodes/n1/stream?max=-2", "", 400},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := doJSON(t, tc.method, ts.URL+tc.path, tc.body)
+			if resp.StatusCode != tc.want {
+				t.Errorf("%s %s: status %d, want %d (body %v)", tc.method, tc.path, resp.StatusCode, tc.want, body)
+			}
+			if tc.want >= 400 {
+				if msg, _ := body["error"].(string); msg == "" {
+					t.Errorf("%s %s: error body missing message: %v", tc.method, tc.path, body)
+				}
+			}
+		})
+	}
+}
+
+// ?max=N bounds a stream, for scrape-style consumers.
+func TestStreamMaxSamples(t *testing.T) {
+	_, ts := testClient(t)
+	resp, created := doJSON(t, "POST", ts.URL+"/v1/nodes", `{
+		"technique": "RAPL", "cap_watts": 120, "free_run": true,
+		"workloads": [{"benchmark": "STREAM", "threads": 8}]}`)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: %d %v", resp.StatusCode, created)
+	}
+	id := created["id"].(string)
+	stream, err := http.Get(ts.URL + "/v1/nodes/" + id + "/stream?max=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Body.Close()
+	sc := bufio.NewScanner(stream.Body)
+	lines := 0
+	for sc.Scan() {
+		lines++
+	}
+	if lines != 5 {
+		t.Errorf("stream with max=5 delivered %d samples", lines)
+	}
+}
+
+// A node with a simulated-time budget finishes on its own and reports it.
+func TestNodeMaxSim(t *testing.T) {
+	mgr, ts := testClient(t)
+	resp, created := doJSON(t, "POST", ts.URL+"/v1/nodes", `{
+		"technique": "RAPL", "cap_watts": 120, "free_run": true,
+		"max_sim_s": 2, "workloads": [{"benchmark": "kmeans", "threads": 8}]}`)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: %d %v", resp.StatusCode, created)
+	}
+	id := created["id"].(string)
+	n, ok := mgr.Get(id)
+	if !ok {
+		t.Fatal("node missing from manager")
+	}
+	<-n.Done()
+	st := n.Status()
+	if st.State != StateDone {
+		t.Errorf("state = %q, want done", st.State)
+	}
+	if st.SimS < 2 {
+		t.Errorf("sim_s = %g, want >= 2", st.SimS)
+	}
+	// A finished node still serves status until deleted.
+	r, got := doJSON(t, "GET", ts.URL+"/v1/nodes/"+id, "")
+	if r.StatusCode != http.StatusOK || got["state"] != string(StateDone) {
+		t.Errorf("get finished node: status %d body %v", r.StatusCode, got)
+	}
+}

@@ -1,0 +1,124 @@
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Fanout broadcasts values to any number of subscribers, each behind its
+// own bounded ring buffer. Publish never blocks: when a subscriber's buffer
+// is full its oldest value is evicted to make room, so a slow or stalled
+// consumer loses samples instead of stalling the producer — the contract a
+// simulation tick loop needs when streaming telemetry to network clients.
+type Fanout[T any] struct {
+	mu     sync.Mutex
+	subs   map[*Subscriber[T]]struct{}
+	closed bool
+}
+
+// Subscriber receives published values over a bounded channel.
+type Subscriber[T any] struct {
+	f       *Fanout[T]
+	ch      chan T
+	dropped atomic.Uint64
+}
+
+// NewFanout returns an empty fan-out.
+func NewFanout[T any]() *Fanout[T] {
+	return &Fanout[T]{subs: make(map[*Subscriber[T]]struct{})}
+}
+
+// Subscribe registers a subscriber buffering at most buffer values
+// (minimum 1). Subscribing to a closed fan-out yields a subscriber whose
+// channel is already closed.
+func (f *Fanout[T]) Subscribe(buffer int) *Subscriber[T] {
+	if buffer < 1 {
+		buffer = 1
+	}
+	sub := &Subscriber[T]{f: f, ch: make(chan T, buffer)}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		close(sub.ch)
+		return sub
+	}
+	f.subs[sub] = struct{}{}
+	return sub
+}
+
+// Publish offers v to every subscriber without blocking. A subscriber
+// whose buffer is full has its oldest value dropped (and its drop counter
+// incremented) to make room. Publishing to a closed fan-out is a no-op.
+func (f *Fanout[T]) Publish(v T) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return
+	}
+	for sub := range f.subs {
+		sub.offer(v)
+	}
+}
+
+func (sub *Subscriber[T]) offer(v T) {
+	select {
+	case sub.ch <- v:
+		return
+	default:
+	}
+	// Full: evict the oldest, then retry once. A concurrent receiver may
+	// have drained the channel in between, in which case the eviction
+	// select falls through and the send succeeds.
+	select {
+	case <-sub.ch:
+		sub.dropped.Add(1)
+	default:
+	}
+	select {
+	case sub.ch <- v:
+	default:
+		sub.dropped.Add(1)
+	}
+}
+
+// Subscribers reports the number of active subscribers.
+func (f *Fanout[T]) Subscribers() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.subs)
+}
+
+// Close closes every subscriber channel (after any buffered values are
+// received) and marks the fan-out closed. Close is idempotent.
+func (f *Fanout[T]) Close() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return
+	}
+	f.closed = true
+	for sub := range f.subs {
+		close(sub.ch)
+		delete(f.subs, sub)
+	}
+}
+
+// C is the subscriber's receive channel; it is closed when the fan-out is
+// closed or the subscription cancelled.
+func (sub *Subscriber[T]) C() <-chan T { return sub.ch }
+
+// Dropped reports how many values this subscriber has lost to a full
+// buffer.
+func (sub *Subscriber[T]) Dropped() uint64 { return sub.dropped.Load() }
+
+// Cancel removes the subscriber from its fan-out and closes its channel.
+// Cancelling twice, or after the fan-out closed, is a no-op.
+func (sub *Subscriber[T]) Cancel() {
+	sub.f.mu.Lock()
+	defer sub.f.mu.Unlock()
+	if _, ok := sub.f.subs[sub]; !ok {
+		return
+	}
+	delete(sub.f.subs, sub)
+	close(sub.ch)
+}

@@ -1,0 +1,116 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestFanoutDeliversInOrder(t *testing.T) {
+	f := NewFanout[int]()
+	a, b := f.Subscribe(8), f.Subscribe(8)
+	for i := 0; i < 5; i++ {
+		f.Publish(i)
+	}
+	f.Close()
+	for name, sub := range map[string]*Subscriber[int]{"a": a, "b": b} {
+		var got []int
+		for v := range sub.C() {
+			got = append(got, v)
+		}
+		if len(got) != 5 {
+			t.Fatalf("subscriber %s got %v, want 0..4", name, got)
+		}
+		for i, v := range got {
+			if v != i {
+				t.Errorf("subscriber %s got[%d] = %d", name, i, v)
+			}
+		}
+		if sub.Dropped() != 0 {
+			t.Errorf("subscriber %s dropped %d with room to spare", name, sub.Dropped())
+		}
+	}
+}
+
+// A slow subscriber loses the oldest samples but keeps the newest — and
+// never blocks Publish.
+func TestFanoutDropsOldestWhenFull(t *testing.T) {
+	f := NewFanout[int]()
+	sub := f.Subscribe(3)
+	for i := 0; i < 10; i++ {
+		f.Publish(i) // must not block despite nobody reading
+	}
+	f.Close()
+	var got []int
+	for v := range sub.C() {
+		got = append(got, v)
+	}
+	want := []int{7, 8, 9}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if sub.Dropped() != 7 {
+		t.Errorf("Dropped = %d, want 7", sub.Dropped())
+	}
+}
+
+func TestFanoutCancelAndClose(t *testing.T) {
+	f := NewFanout[int]()
+	sub := f.Subscribe(1)
+	if f.Subscribers() != 1 {
+		t.Fatalf("Subscribers = %d, want 1", f.Subscribers())
+	}
+	sub.Cancel()
+	sub.Cancel() // idempotent
+	if f.Subscribers() != 0 {
+		t.Fatalf("Subscribers after cancel = %d, want 0", f.Subscribers())
+	}
+	if _, ok := <-sub.C(); ok {
+		t.Error("cancelled subscriber channel still open")
+	}
+	f.Publish(1) // no subscribers: fine
+	f.Close()
+	f.Close() // idempotent
+	late := f.Subscribe(1)
+	if _, ok := <-late.C(); ok {
+		t.Error("subscription to closed fanout not closed")
+	}
+	late.Cancel() // no-op, must not panic
+	f.Publish(2)  // closed: no-op
+}
+
+// Publishers, subscribers, and cancellers running concurrently must be
+// race-free (exercised under -race in CI).
+func TestFanoutConcurrent(t *testing.T) {
+	f := NewFanout[int]()
+	var readers sync.WaitGroup
+	for s := 0; s < 4; s++ {
+		sub := f.Subscribe(4)
+		if s%2 == 0 {
+			continue // never reads; must not stall publishers
+		}
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for range sub.C() {
+			}
+		}()
+	}
+	var pubs sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		pubs.Add(1)
+		go func() {
+			defer pubs.Done()
+			for i := 0; i < 200; i++ {
+				f.Publish(i)
+			}
+		}()
+	}
+	pubs.Wait()
+	f.Close() // unblocks the readers
+	readers.Wait()
+}
