@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench
+.PHONY: check fmt vet build test race bench bench-sweep
 
 # check is the CI gate: formatting, static analysis, build, and the full
 # test suite under the race detector.
@@ -23,5 +23,16 @@ race:
 	$(GO) test -race ./...
 
 # bench runs the paper-artifact benchmarks plus the server tick benchmark.
-bench:
+bench: bench-sweep
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+# bench-sweep times the quick single-application grid sequentially and on
+# four workers, then prints the parallel-over-sequential speedup. On a
+# single-core host the ratio is ~1.0 by design (results are identical either
+# way; only wall-clock changes).
+bench-sweep:
+	@$(GO) test -bench 'BenchmarkSweep(Sequential|Parallel)$$' -benchtime 3x \
+		-run '^$$' ./internal/experiment | tee /tmp/pupil-bench-sweep.txt
+	@awk '/^BenchmarkSweepSequential/ {seq=$$3} /^BenchmarkSweepParallel/ {par=$$3} \
+		END {if (seq && par) printf "sweep speedup (sequential/parallel): %.2fx\n", seq/par}' \
+		/tmp/pupil-bench-sweep.txt

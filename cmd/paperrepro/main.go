@@ -4,39 +4,54 @@
 //
 // Usage:
 //
-//	paperrepro [-quick] [-seed N] [-csv DIR] [-only LIST]
+//	paperrepro [-quick] [-seed N] [-parallel N] [-csv DIR] [-only LIST]
 //
 // -only selects a comma-separated subset of experiment names:
 // table1,table2,fig1,eas,table3,fig3,fig4,fig5,table4,table5,fig6,table6,fig7,fig8,
-// sensitivity.
+// sensitivity. Unknown names are an error (a typo would otherwise silently
+// reproduce nothing).
+//
+// -parallel bounds the sweep worker pool (default: all cores). Results are
+// bit-identical at any parallelism; only wall-clock changes. Progress for
+// the big grids is reported on stderr, and Ctrl-C cancels mid-simulation.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"sort"
 	"strings"
 	"time"
 
 	"pupil/internal/experiment"
 	"pupil/internal/machine"
 	"pupil/internal/report"
+	"pupil/internal/sweep"
 )
+
+// experimentNames lists every -only selector, in presentation order.
+var experimentNames = []string{
+	"table1", "table2", "fig1", "table3", "fig3", "fig4", "fig5",
+	"table4", "table5", "fig6", "table6", "fig7", "sensitivity",
+	"eas", "fig8",
+}
 
 func main() {
 	quick := flag.Bool("quick", false, "run the reduced grid (3 caps, 8 benchmarks, shorter runs)")
 	seed := flag.Uint64("seed", 42, "random seed for the whole reproduction")
+	parallel := flag.Int("parallel", 0, "sweep worker pool size (<= 0 means all cores)")
 	csvDir := flag.String("csv", "", "directory to write CSV artifacts into (created if missing)")
 	only := flag.String("only", "", "comma-separated subset of experiments to run")
 	flag.Parse()
 
 	cfg := experiment.Config{Seed: *seed, Quick: *quick}
-	sel := map[string]bool{}
-	for _, name := range strings.Split(*only, ",") {
-		if name = strings.TrimSpace(name); name != "" {
-			sel[strings.ToLower(name)] = true
-		}
+	sel, err := parseOnly(*only)
+	if err != nil {
+		fatal(err)
 	}
 	want := func(name string) bool { return len(sel) == 0 || sel[name] }
 
@@ -46,7 +61,28 @@ func main() {
 		}
 	}
 
+	// Ctrl-C cancels the reproduction mid-simulation: the context reaches
+	// every in-flight cell through driver.RunContext.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	opts := func(grid string) experiment.RunOpts {
+		return experiment.RunOpts{Parallel: *parallel, Progress: progressPrinter(grid)}
+	}
+
 	start := time.Now()
+	// Warm the shared sweeps up front with progress reporting; the table
+	// and figure renderers below then hit the memo.
+	if want("table3") || want("fig3") || want("fig4") || want("fig5") || want("fig7") {
+		if _, err := experiment.SingleAppSweepOpts(ctx, cfg, opts("single-app grid")); err != nil {
+			fatal(err)
+		}
+	}
+	if want("table5") || want("fig6") || want("table6") || want("fig8") {
+		if _, err := experiment.MultiAppSweepOpts(ctx, cfg, opts("multi-app grid")); err != nil {
+			fatal(err)
+		}
+	}
+
 	if want("table1") {
 		emit("table1", table1(), *csvDir)
 	}
@@ -58,7 +94,7 @@ func main() {
 		emit("table2", t, *csvDir)
 	}
 	if want("fig1") {
-		runFig1(cfg, *csvDir)
+		runFig1(ctx, cfg, opts("fig1"), *csvDir)
 	}
 	if want("table3") {
 		t, err := experiment.Table3(cfg)
@@ -126,14 +162,14 @@ func main() {
 		}
 	}
 	if want("sensitivity") {
-		_, t, err := experiment.Sensitivity(cfg)
+		_, t, err := experiment.SensitivityOpts(ctx, cfg, opts("sensitivity"))
 		if err != nil {
 			fatal(err)
 		}
 		emit("sensitivity", t, *csvDir)
 	}
 	if want("eas") {
-		t, err := experiment.ExtensionEAS(cfg)
+		t, err := experiment.ExtensionEASOpts(ctx, cfg, opts("eas"))
 		if err != nil {
 			fatal(err)
 		}
@@ -148,7 +184,51 @@ func main() {
 			emit(fmt.Sprintf("fig8_%d", i), t, *csvDir)
 		}
 	}
-	fmt.Fprintf(os.Stderr, "reproduction completed in %v\n", time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(os.Stderr, "reproduction completed in %v (parallel=%d)\n",
+		time.Since(start).Round(time.Millisecond), sweep.Workers(*parallel))
+}
+
+// parseOnly validates the -only list against the known experiment names,
+// returning an error naming the valid selectors on a typo.
+func parseOnly(only string) (map[string]bool, error) {
+	known := map[string]bool{}
+	for _, name := range experimentNames {
+		known[name] = true
+	}
+	sel := map[string]bool{}
+	for _, name := range strings.Split(only, ",") {
+		name = strings.ToLower(strings.TrimSpace(name))
+		if name == "" {
+			continue
+		}
+		if !known[name] {
+			sorted := append([]string(nil), experimentNames...)
+			sort.Strings(sorted)
+			return nil, fmt.Errorf("unknown -only experiment %q (valid: %s)",
+				name, strings.Join(sorted, ","))
+		}
+		sel[name] = true
+	}
+	return sel, nil
+}
+
+// progressPrinter returns a live stderr progress line for one grid:
+// "single-app grid 312/500 cells, 41s elapsed". The sweep engine serializes
+// calls, so the closure needs no locking.
+func progressPrinter(grid string) sweep.Progress {
+	start := time.Now()
+	var last time.Time
+	return func(done, total int, label string) {
+		if done != total && time.Since(last) < 200*time.Millisecond {
+			return
+		}
+		last = time.Now()
+		fmt.Fprintf(os.Stderr, "\r%s %d/%d cells, %s elapsed",
+			grid, done, total, time.Since(start).Round(time.Second))
+		if done == total {
+			fmt.Fprintln(os.Stderr)
+		}
+	}
 }
 
 // table1 renders the platform description (the paper's Table 1).
@@ -168,8 +248,8 @@ func table1() *report.Table {
 	return t
 }
 
-func runFig1(cfg experiment.Config, csvDir string) {
-	res, err := experiment.Fig1(cfg)
+func runFig1(ctx context.Context, cfg experiment.Config, opts experiment.RunOpts, csvDir string) {
+	res, err := experiment.Fig1Opts(ctx, cfg, opts)
 	if err != nil {
 		fatal(err)
 	}

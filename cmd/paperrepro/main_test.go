@@ -1,0 +1,41 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseOnlyAcceptsKnownNames(t *testing.T) {
+	sel, err := parseOnly("table3, FIG4,eas")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"table3", "fig4", "eas"} {
+		if !sel[name] {
+			t.Errorf("selection missing %q: %v", name, sel)
+		}
+	}
+	if len(sel) != 3 {
+		t.Errorf("selection has extras: %v", sel)
+	}
+}
+
+func TestParseOnlyEmptyMeansEverything(t *testing.T) {
+	sel, err := parseOnly("")
+	if err != nil || len(sel) != 0 {
+		t.Fatalf("parseOnly(\"\") = %v, %v; want empty selection, nil", sel, err)
+	}
+}
+
+func TestParseOnlyRejectsTypos(t *testing.T) {
+	_, err := parseOnly("table3,tabel4")
+	if err == nil {
+		t.Fatal("typo accepted silently")
+	}
+	if !strings.Contains(err.Error(), "tabel4") {
+		t.Errorf("error %q does not name the offending selector", err)
+	}
+	if !strings.Contains(err.Error(), "table4") {
+		t.Errorf("error %q does not list valid names", err)
+	}
+}

@@ -127,6 +127,14 @@ func features(p *machine.Platform, cfg machine.Config) []float64 {
 	}
 }
 
+// Clone returns a controller sharing the fitted (immutable) power and
+// performance models but with private runtime state, so concurrent runs can
+// each drive their own instance without racing on lastCap. Training is the
+// expensive part; cloning costs nothing.
+func (c *SoftModeling) Clone() *SoftModeling {
+	return &SoftModeling{power: c.power, perf: c.perf}
+}
+
 // Name implements core.Controller.
 func (c *SoftModeling) Name() string { return "Soft-Modeling" }
 

@@ -1,0 +1,89 @@
+package driver
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"pupil/internal/control"
+	"pupil/internal/core"
+	"pupil/internal/machine"
+)
+
+// TestRunContextCancellation verifies the context threads all the way into
+// the simulation loop: a long scenario cancelled shortly after starting must
+// return context.Canceled promptly instead of simulating the full hour.
+func TestRunContextCancellation(t *testing.T) {
+	p := machine.E52690Server()
+	ctx, cancel := context.WithCancel(context.Background())
+	timer := time.AfterFunc(50*time.Millisecond, cancel)
+	defer timer.Stop()
+
+	start := time.Now()
+	_, err := RunContext(ctx, Scenario{
+		Platform:   p,
+		Specs:      specs(t, 32, "x264"),
+		CapWatts:   140,
+		Controller: core.NewPUPiL(core.DefaultOrdered(p)),
+		Duration:   time.Hour, // far longer than any test should simulate
+		Seed:       1,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("cancellation took %v, want prompt return", elapsed)
+	}
+}
+
+// TestRunContextPreCancelled checks an already-dead context aborts before
+// any simulated time passes.
+func TestRunContextPreCancelled(t *testing.T) {
+	p := machine.E52690Server()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunContext(ctx, Scenario{
+		Platform:   p,
+		Specs:      specs(t, 32, "jacobi"),
+		CapWatts:   140,
+		Controller: control.NewRAPLOnly(),
+		Duration:   time.Minute,
+		Seed:       1,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+}
+
+// TestSessionAdvanceContextCancellation verifies interactive sessions stop
+// mid-advance on cancellation and remain usable afterwards.
+func TestSessionAdvanceContextCancellation(t *testing.T) {
+	p := machine.E52690Server()
+	s, err := NewSession(Scenario{
+		Platform:   p,
+		Specs:      specs(t, 32, "x264"),
+		CapWatts:   140,
+		Controller: control.NewRAPLOnly(),
+		Duration:   time.Hour,
+		Seed:       1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	timer := time.AfterFunc(50*time.Millisecond, cancel)
+	defer timer.Stop()
+	if err := s.AdvanceContext(ctx, time.Hour); !errors.Is(err, context.Canceled) {
+		t.Fatalf("AdvanceContext error = %v, want context.Canceled", err)
+	}
+	at := s.Now()
+	if at <= 0 || at >= time.Hour {
+		t.Errorf("cancelled advance stopped at t=%v, want mid-run", at)
+	}
+	// The session must stay usable after a cancelled advance.
+	s.Advance(time.Second)
+	if got := s.Now(); got <= at {
+		t.Errorf("session did not advance after cancellation: t=%v then %v", at, got)
+	}
+}

@@ -10,6 +10,7 @@
 package driver
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -148,6 +149,14 @@ func (r Result) Efficiency(alone []float64) float64 {
 
 // Run executes the scenario and returns its result.
 func Run(s Scenario) (Result, error) {
+	return RunContext(context.Background(), s)
+}
+
+// RunContext executes the scenario, aborting mid-simulation as soon as ctx
+// is cancelled. On cancellation the partial run's state is discarded and the
+// context's error is returned (matchable with errors.Is against
+// context.Canceled or context.DeadlineExceeded).
+func RunContext(ctx context.Context, s Scenario) (Result, error) {
 	if s.Platform == nil {
 		return Result{}, errors.New("driver: scenario has no platform")
 	}
@@ -194,7 +203,9 @@ func Run(s Scenario) (Result, error) {
 	// Initial physics so the controller's Start observes a live system.
 	w.refresh(0)
 	s.Controller.Start(w)
-	runner.Run(s.Duration)
+	if err := runner.RunContext(ctx, s.Duration); err != nil {
+		return Result{}, fmt.Errorf("driver: run aborted at t=%v: %w", runner.Clock.Now(), err)
+	}
 
 	return w.result(s), nil
 }

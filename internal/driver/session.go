@@ -1,6 +1,7 @@
 package driver
 
 import (
+	"context"
 	"errors"
 	"time"
 
@@ -80,12 +81,20 @@ func (s *Session) SetCap(watts float64) error {
 
 // Advance runs the node for d of simulated time.
 func (s *Session) Advance(d time.Duration) {
+	_ = s.AdvanceContext(context.Background(), d)
+}
+
+// AdvanceContext runs the node for d of simulated time, aborting between
+// kernel ticks once ctx is cancelled and returning the context's error. The
+// session remains valid after a cancelled advance: simulated time simply
+// stops where the abort landed, and a later Advance resumes from there.
+func (s *Session) AdvanceContext(ctx context.Context, d time.Duration) error {
 	if !s.started {
 		s.w.refresh(0)
 		s.scenario.Controller.Start(s.w)
 		s.started = true
 	}
-	s.runner.Run(d)
+	return s.runner.RunContext(ctx, d)
 }
 
 // Power returns the node's current true power draw.

@@ -7,6 +7,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -15,6 +16,7 @@ import (
 	"pupil/internal/core"
 	"pupil/internal/driver"
 	"pupil/internal/machine"
+	"pupil/internal/sweep"
 	"pupil/internal/system"
 	"pupil/internal/workload"
 )
@@ -40,6 +42,21 @@ type Config struct {
 	// Quick trims the grid (3 caps, 8 benchmarks, shorter runs) for
 	// tests and exploratory runs. Full reproductions leave it false.
 	Quick bool
+}
+
+// RunOpts tunes how a sweep executes. Every cell of a grid derives its
+// randomness from a stable per-cell seed and results are collected in grid
+// order, so RunOpts never affects results — only wall-clock time and
+// observability. The zero value runs on GOMAXPROCS workers silently.
+type RunOpts struct {
+	// Parallel bounds the worker pool; values <= 0 mean GOMAXPROCS.
+	Parallel int
+	// Progress, when non-nil, observes cell completions.
+	Progress sweep.Progress
+}
+
+func (o RunOpts) sweep() sweep.Options {
+	return sweep.Options{Parallel: o.Parallel, Progress: o.Progress}
 }
 
 // Caps returns the evaluated processor power caps in Watts (Section 5.1).
@@ -111,7 +128,10 @@ func condense(res driver.Result) Record {
 }
 
 // harness bundles the per-config shared state: the platform, the trained
-// Soft-Modeling instance, and isolated-run rates.
+// Soft-Modeling instance, and isolated-run rates. A harness is shared by
+// every cell of a concurrent grid, so everything it hands out is either
+// immutable (the platform, the trained models — cloned per run) or guarded
+// (the alone-rate cache).
 type harness struct {
 	cfg       Config
 	plat      *machine.Platform
@@ -129,7 +149,10 @@ func newHarness(cfg Config) (*harness, error) {
 	return &harness{cfg: cfg, plat: plat, softModel: sm, alone: map[string]float64{}}, nil
 }
 
-// controller builds a fresh controller instance for one run.
+// controller builds a fresh controller instance for one run. Soft-Modeling
+// shares its (immutable) trained models across clones; every other
+// controller is constructed from scratch, so two concurrent runs never
+// share controller state.
 func (h *harness) controller(tech string) (core.Controller, error) {
 	switch tech {
 	case TechRAPL:
@@ -137,7 +160,7 @@ func (h *harness) controller(tech string) (core.Controller, error) {
 	case TechSoftDVFS:
 		return control.NewSoftDVFS(), nil
 	case TechSoftModeling:
-		return h.softModel, nil
+		return h.softModel.Clone(), nil
 	case TechSoftDecision:
 		return core.NewSoftDecision(core.DefaultOrdered(h.plat)), nil
 	case TechPUPiL:
@@ -148,12 +171,12 @@ func (h *harness) controller(tech string) (core.Controller, error) {
 }
 
 // run executes one capped scenario.
-func (h *harness) run(tech string, specs []workload.Spec, capW float64, weights []float64, seedSalt uint64) (Record, error) {
+func (h *harness) run(ctx context.Context, tech string, specs []workload.Spec, capW float64, weights []float64, seedSalt uint64) (Record, error) {
 	ctrl, err := h.controller(tech)
 	if err != nil {
 		return Record{}, err
 	}
-	res, err := driver.Run(driver.Scenario{
+	res, err := driver.RunContext(ctx, driver.Scenario{
 		Platform:    h.plat,
 		Specs:       specs,
 		CapWatts:    capW,
@@ -169,14 +192,20 @@ func (h *harness) run(tech string, specs []workload.Spec, capW float64, weights 
 }
 
 // aloneRate returns a benchmark's isolated best rate on the uncapped
-// machine (the weighted-speedup normalization of Section 4.3.2).
+// machine (the weighted-speedup normalization of Section 4.3.2). The cache
+// is consulted and filled under the mutex, but the oracle search runs
+// outside it so concurrent cells computing different benchmarks overlap; a
+// duplicated computation for the same key is deterministic, so last-write
+// and first-write are identical.
 func (h *harness) aloneRate(name string, threads int) (float64, error) {
 	key := fmt.Sprintf("%s/%d", name, threads)
 	h.aloneMu.Lock()
-	defer h.aloneMu.Unlock()
 	if v, ok := h.alone[key]; ok {
+		h.aloneMu.Unlock()
 		return v, nil
 	}
+	h.aloneMu.Unlock()
+
 	prof, err := workload.ByName(name)
 	if err != nil {
 		return 0, err
@@ -189,23 +218,30 @@ func (h *harness) aloneRate(name string, threads int) (float64, error) {
 	if !ok {
 		return 0, fmt.Errorf("experiment: no feasible configuration for %s", name)
 	}
+	h.aloneMu.Lock()
 	h.alone[key] = ev.TotalRate()
+	h.aloneMu.Unlock()
 	return ev.TotalRate(), nil
 }
 
-// seedFor derives a stable per-run seed salt from labels.
-func seedFor(labels ...string) uint64 {
-	h := uint64(14695981039346656037)
-	for _, l := range labels {
-		for i := 0; i < len(l); i++ {
-			h ^= uint64(l[i])
-			h *= 1099511628211
-		}
-		h ^= '/'
-		h *= 1099511628211
+// instances builds a fresh single-benchmark workload. Every grid cell
+// constructs its own instances: workload.Instance carries progress state, so
+// sharing one across concurrent evaluations would race.
+func (h *harness) instances(app string, threads int) ([]workload.Spec, []*workload.Instance, error) {
+	prof, err := workload.ByName(app)
+	if err != nil {
+		return nil, nil, err
 	}
-	return h
+	specs := []workload.Spec{{Profile: prof, Threads: threads}}
+	apps, err := workload.NewInstances(specs)
+	if err != nil {
+		return nil, nil, err
+	}
+	return specs, apps, nil
 }
+
+// seedFor derives a stable per-run seed salt from cell labels.
+func seedFor(labels ...string) uint64 { return sweep.Seed(labels...) }
 
 // memoization of shared sweeps.
 var (

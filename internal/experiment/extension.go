@@ -1,20 +1,29 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"pupil/internal/core"
 	"pupil/internal/driver"
 	"pupil/internal/metrics"
 	"pupil/internal/report"
+	"pupil/internal/sweep"
 	"pupil/internal/workload"
 )
 
-// ExtensionEAS quantifies the PUPiL-EAS extension (the paper's Section 6
+// ExtensionEAS quantifies the PUPiL-EAS extension with default execution
+// options. See ExtensionEASOpts.
+func ExtensionEAS(cfg Config) (*report.Table, error) {
+	return ExtensionEASOpts(context.Background(), cfg, RunOpts{})
+}
+
+// ExtensionEASOpts quantifies the PUPiL-EAS extension (the paper's Section 6
 // future work) against plain PUPiL on the oblivious mixes at moderate and
 // loose caps — the regime where the global walk can get stuck keeping both
-// sockets and only per-application pinning isolates the polluter.
-func ExtensionEAS(cfg Config) (*report.Table, error) {
+// sockets and only per-application pinning isolates the polluter. Runs
+// execute on a bounded worker pool.
+func ExtensionEASOpts(ctx context.Context, cfg Config, opts RunOpts) (*report.Table, error) {
 	h, err := newHarness(cfg)
 	if err != nil {
 		return nil, err
@@ -28,14 +37,43 @@ func ExtensionEAS(cfg Config) (*report.Table, error) {
 	}
 	caps := []float64{140, 220}
 
-	cols := []string{"Mix"}
-	for _, capW := range caps {
-		cols = append(cols, fmt.Sprintf("PUPiL@%.0fW", capW), fmt.Sprintf("EAS@%.0fW", capW),
-			fmt.Sprintf("gain@%.0fW", capW))
+	// Stage 1: isolated-rate normalizations (each an oracle search).
+	var aloneCells []sweep.Cell[struct{}]
+	seen := map[string]bool{}
+	for _, mixName := range mixNames {
+		mix, err := workload.MixByName(mixName)
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range mix.Names {
+			if seen[name] {
+				continue
+			}
+			seen[name] = true
+			name := name
+			aloneCells = append(aloneCells, sweep.Cell[struct{}]{
+				Label: "alone/" + name,
+				Run: func(ctx context.Context) (struct{}, error) {
+					_, err := h.aloneRate(name, 32)
+					return struct{}{}, err
+				},
+			})
+		}
 	}
-	t := report.NewTable("Extension: PUPiL-EAS vs PUPiL weighted speedup (oblivious)", cols...)
+	if _, err := sweep.Run(ctx, aloneCells, opts.sweep()); err != nil {
+		return nil, fmt.Errorf("experiment: EAS isolated rates: %w", err)
+	}
 
-	gains := map[float64][]float64{}
+	// Stage 2: one cell per mix x cap x {PUPiL, PUPiL-EAS}.
+	type variant struct {
+		label string
+		ctrl  func() core.Controller
+	}
+	variants := []variant{
+		{"pupil", func() core.Controller { return core.NewPUPiL(core.DefaultOrdered(h.plat)) }},
+		{"eas", func() core.Controller { return core.NewPUPiLEAS(core.DefaultOrdered(h.plat)) }},
+	}
+	var cells []sweep.Cell[float64]
 	for _, mixName := range mixNames {
 		mix, err := workload.MixByName(mixName)
 		if err != nil {
@@ -54,32 +92,50 @@ func ExtensionEAS(cfg Config) (*report.Table, error) {
 			}
 			weights[i] = w
 		}
+		for _, capW := range caps {
+			for _, v := range variants {
+				mixName, capW, v := mixName, capW, v
+				cells = append(cells, sweep.Cell[float64]{
+					Label: fmt.Sprintf("eas/%s/%s/%.0fW", v.label, mixName, capW),
+					Run: func(ctx context.Context) (float64, error) {
+						res, err := driver.RunContext(ctx, driver.Scenario{
+							Platform:    h.plat,
+							Specs:       specs,
+							CapWatts:    capW,
+							Controller:  v.ctrl(),
+							Duration:    h.cfg.Duration(TechPUPiL) + 30*1e9, // extra time for the pinning phase
+							Seed:        h.cfg.Seed ^ seedFor("eas", mixName, fmt.Sprintf("%.0f", capW)),
+							PerfWeights: weights,
+						})
+						if err != nil {
+							return 0, err
+						}
+						return metrics.WeightedSpeedup(res.SteadyRates, weights), nil
+					},
+				})
+			}
+		}
+	}
+	speedups, err := sweep.Run(ctx, cells, opts.sweep())
+	if err != nil {
+		return nil, fmt.Errorf("experiment: EAS sweep: %w", err)
+	}
 
+	// Assembly, in grid order.
+	cols := []string{"Mix"}
+	for _, capW := range caps {
+		cols = append(cols, fmt.Sprintf("PUPiL@%.0fW", capW), fmt.Sprintf("EAS@%.0fW", capW),
+			fmt.Sprintf("gain@%.0fW", capW))
+	}
+	t := report.NewTable("Extension: PUPiL-EAS vs PUPiL weighted speedup (oblivious)", cols...)
+
+	gains := map[float64][]float64{}
+	i := 0
+	for _, mixName := range mixNames {
 		row := []string{mixName}
 		for _, capW := range caps {
-			run := func(ctrl core.Controller) (float64, error) {
-				res, err := driver.Run(driver.Scenario{
-					Platform:    h.plat,
-					Specs:       specs,
-					CapWatts:    capW,
-					Controller:  ctrl,
-					Duration:    h.cfg.Duration(TechPUPiL) + 30*1e9, // extra time for the pinning phase
-					Seed:        h.cfg.Seed ^ seedFor("eas", mixName, fmt.Sprintf("%.0f", capW)),
-					PerfWeights: weights,
-				})
-				if err != nil {
-					return 0, err
-				}
-				return metrics.WeightedSpeedup(res.SteadyRates, weights), nil
-			}
-			pupilWS, err := run(core.NewPUPiL(core.DefaultOrdered(h.plat)))
-			if err != nil {
-				return nil, err
-			}
-			easWS, err := run(core.NewPUPiLEAS(core.DefaultOrdered(h.plat)))
-			if err != nil {
-				return nil, err
-			}
+			pupilWS, easWS := speedups[i], speedups[i+1]
+			i += 2
 			gain := 0.0
 			if pupilWS > 0 {
 				gain = easWS / pupilWS

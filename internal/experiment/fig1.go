@@ -1,11 +1,14 @@
 package experiment
 
 import (
+	"context"
+	"fmt"
 	"time"
 
 	"pupil/internal/driver"
 	"pupil/internal/machine"
 	"pupil/internal/sim"
+	"pupil/internal/sweep"
 	"pupil/internal/workload"
 )
 
@@ -23,9 +26,15 @@ type Fig1Result struct {
 	SteadyPerf map[string]float64
 }
 
-// Fig1 reruns the motivational example: the tradeoff between hardware
-// timeliness and software efficiency on x264 at 140 W over 150 seconds.
+// Fig1 reruns the motivational example with default execution options.
 func Fig1(cfg Config) (*Fig1Result, error) {
+	return Fig1Opts(context.Background(), cfg, RunOpts{})
+}
+
+// Fig1Opts reruns the motivational example: the tradeoff between hardware
+// timeliness and software efficiency on x264 at 140 W over 150 seconds. The
+// three techniques run as one small grid on the worker pool.
+func Fig1Opts(ctx context.Context, cfg Config, opts RunOpts) (*Fig1Result, error) {
 	h, err := newHarness(cfg)
 	if err != nil {
 		return nil, err
@@ -45,22 +54,34 @@ func Fig1(cfg Config) (*Fig1Result, error) {
 		Settling:   map[string]time.Duration{},
 		SteadyPerf: map[string]float64{},
 	}
-	for _, tech := range []string{TechRAPL, TechSoftDecision, TechPUPiL} {
-		ctrl, err := h.controller(tech)
-		if err != nil {
-			return nil, err
+	techs := []string{TechRAPL, TechSoftDecision, TechPUPiL}
+	cells := make([]sweep.Cell[driver.Result], len(techs))
+	for i, tech := range techs {
+		tech := tech
+		cells[i] = sweep.Cell[driver.Result]{
+			Label: fmt.Sprintf("fig1/%s", tech),
+			Run: func(ctx context.Context) (driver.Result, error) {
+				ctrl, err := h.controller(tech)
+				if err != nil {
+					return driver.Result{}, err
+				}
+				return driver.RunContext(ctx, driver.Scenario{
+					Platform:   machine.E52690Server(),
+					Specs:      []workload.Spec{{Profile: prof, Threads: singleAppThreads}},
+					CapWatts:   out.CapWatts,
+					Controller: ctrl,
+					Duration:   dur,
+					Seed:       cfg.Seed ^ seedFor("fig1", tech),
+				})
+			},
 		}
-		res, err := driver.Run(driver.Scenario{
-			Platform:   machine.E52690Server(),
-			Specs:      []workload.Spec{{Profile: prof, Threads: singleAppThreads}},
-			CapWatts:   out.CapWatts,
-			Controller: ctrl,
-			Duration:   dur,
-			Seed:       cfg.Seed ^ seedFor("fig1", tech),
-		})
-		if err != nil {
-			return nil, err
-		}
+	}
+	results, err := sweep.Run(ctx, cells, opts.sweep())
+	if err != nil {
+		return nil, fmt.Errorf("experiment: fig1: %w", err)
+	}
+	for i, tech := range techs {
+		res := results[i]
 		out.Power[tech] = res.PowerTrace
 		out.Perf[tech] = res.PerfTrace
 		out.Settling[tech] = res.Settling

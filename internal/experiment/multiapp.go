@@ -1,10 +1,12 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"pupil/internal/metrics"
 	"pupil/internal/report"
+	"pupil/internal/sweep"
 	"pupil/internal/workload"
 )
 
@@ -40,11 +42,57 @@ type MultiAppData struct {
 	Alone map[string]map[string]float64
 }
 
+// Clone returns a deep copy that the caller owns and may mutate freely —
+// the escape hatch from the shared read-only contract of MultiAppSweep.
+func (d *MultiAppData) Clone() *MultiAppData {
+	out := &MultiAppData{
+		Cfg:     d.Cfg,
+		Caps:    append([]float64(nil), d.Caps...),
+		Mixes:   append([]workload.Mix(nil), d.Mixes...),
+		Records: map[string]map[string]map[float64]map[string]Record{},
+		Alone:   map[string]map[string]float64{},
+	}
+	for scenario, byTech := range d.Records {
+		out.Records[scenario] = map[string]map[float64]map[string]Record{}
+		for tech, byCap := range byTech {
+			out.Records[scenario][tech] = map[float64]map[string]Record{}
+			for capW, byMix := range byCap {
+				m := map[string]Record{}
+				for name, rec := range byMix {
+					m[name] = rec.clone()
+				}
+				out.Records[scenario][tech][capW] = m
+			}
+		}
+	}
+	for scenario, byName := range d.Alone {
+		m := map[string]float64{}
+		for name, v := range byName {
+			m[name] = v
+		}
+		out.Alone[scenario] = m
+	}
+	return out
+}
+
 // multiAppTechs are the techniques the paper evaluates on mixes.
 func multiAppTechs() []string { return []string{TechRAPL, TechPUPiL} }
 
-// MultiAppSweep runs (or returns the memoized) multi-application grid.
+// MultiAppSweep runs (or returns the memoized) multi-application grid with
+// default execution options. See MultiAppSweepOpts for the sharing contract
+// on the returned data.
 func MultiAppSweep(cfg Config) (*MultiAppData, error) {
+	return MultiAppSweepOpts(context.Background(), cfg, RunOpts{})
+}
+
+// MultiAppSweepOpts runs (or returns the memoized) multi-application grid
+// on a bounded worker pool.
+//
+// The returned *MultiAppData is shared: every caller with the same Config
+// receives the same instance, so it must be treated as read-only. Callers
+// that need to mutate the data must work on a Clone. Results are identical
+// for a given Config at any parallelism.
+func MultiAppSweepOpts(ctx context.Context, cfg Config, opts RunOpts) (*MultiAppData, error) {
 	memoMu.Lock()
 	if d, ok := multiMemo[cfg]; ok {
 		memoMu.Unlock()
@@ -52,6 +100,24 @@ func MultiAppSweep(cfg Config) (*MultiAppData, error) {
 	}
 	memoMu.Unlock()
 
+	d, err := runMultiAppSweep(ctx, cfg, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	memoMu.Lock()
+	defer memoMu.Unlock()
+	if prev, ok := multiMemo[cfg]; ok {
+		return prev, nil
+	}
+	multiMemo[cfg] = d
+	return d, nil
+}
+
+// runMultiAppSweep always executes the grid (no memo) in two stages: the
+// isolated-rate normalizations (each an Optimal oracle search, so they join
+// the same worker pool), then every scenario x mix x cap x technique run.
+func runMultiAppSweep(ctx context.Context, cfg Config, opts RunOpts) (*MultiAppData, error) {
 	h, err := newHarness(cfg)
 	if err != nil {
 		return nil, err
@@ -68,10 +134,49 @@ func MultiAppSweep(cfg Config) (*MultiAppData, error) {
 		Alone:   map[string]map[string]float64{},
 	}
 
+	// Stage 1: isolated rates for every unique (benchmark, thread count),
+	// deduplicated in first-appearance order.
+	type aloneKey struct {
+		name    string
+		threads int
+	}
+	var aloneCells []sweep.Cell[struct{}]
+	seen := map[aloneKey]bool{}
 	for _, scenario := range Scenarios() {
 		threads := scenarioThreads(scenario)
-		d.Alone[scenario] = map[string]float64{}
-		d.Records[scenario] = map[string]map[float64]map[string]Record{}
+		for _, mix := range d.Mixes {
+			for _, name := range mix.Names {
+				k := aloneKey{name, threads}
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+				aloneCells = append(aloneCells, sweep.Cell[struct{}]{
+					Label: fmt.Sprintf("alone/%s/%dt", k.name, k.threads),
+					Run: func(ctx context.Context) (struct{}, error) {
+						_, err := h.aloneRate(k.name, k.threads)
+						return struct{}{}, err
+					},
+				})
+			}
+		}
+	}
+	if _, err := sweep.Run(ctx, aloneCells, opts.sweep()); err != nil {
+		return nil, fmt.Errorf("experiment: multi-app isolated rates: %w", err)
+	}
+
+	// Stage 2: the run grid. Weights now come from the warmed cache, so
+	// building a cell is cheap and cells stay independent.
+	type runKey struct {
+		scenario string
+		mix      workload.Mix
+		capW     float64
+		tech     string
+	}
+	var keys []runKey
+	var cells []sweep.Cell[Record]
+	for _, scenario := range Scenarios() {
+		threads := scenarioThreads(scenario)
 		for _, mix := range d.Mixes {
 			profs, err := mix.Profiles()
 			if err != nil {
@@ -85,31 +190,51 @@ func MultiAppSweep(cfg Config) (*MultiAppData, error) {
 					return nil, err
 				}
 				weights[i] = w
-				d.Alone[scenario][p.Name] = w
 			}
 			for _, capW := range d.Caps {
 				for _, tech := range multiAppTechs() {
-					rec, err := h.run(tech, specs, capW, weights,
-						seedFor(scenario, tech, mix.Name, fmt.Sprintf("%.0f", capW)))
-					if err != nil {
-						return nil, fmt.Errorf("experiment: %s/%s/%s/%.0fW: %w",
-							scenario, tech, mix.Name, capW, err)
-					}
-					if d.Records[scenario][tech] == nil {
-						d.Records[scenario][tech] = map[float64]map[string]Record{}
-					}
-					if d.Records[scenario][tech][capW] == nil {
-						d.Records[scenario][tech][capW] = map[string]Record{}
-					}
-					d.Records[scenario][tech][capW][mix.Name] = rec
+					scenario, mix, capW, tech := scenario, mix, capW, tech
+					keys = append(keys, runKey{scenario, mix, capW, tech})
+					cells = append(cells, sweep.Cell[Record]{
+						Label: fmt.Sprintf("%s/%s/%s/%.0fW", scenario, tech, mix.Name, capW),
+						Run: func(ctx context.Context) (Record, error) {
+							return h.run(ctx, tech, specs, capW, weights,
+								seedFor(scenario, tech, mix.Name, fmt.Sprintf("%.0f", capW)))
+						},
+					})
 				}
 			}
 		}
 	}
+	records, err := sweep.Run(ctx, cells, opts.sweep())
+	if err != nil {
+		return nil, fmt.Errorf("experiment: multi-app sweep: %w", err)
+	}
 
-	memoMu.Lock()
-	multiMemo[cfg] = d
-	memoMu.Unlock()
+	// Assembly, in grid order.
+	for _, scenario := range Scenarios() {
+		threads := scenarioThreads(scenario)
+		d.Alone[scenario] = map[string]float64{}
+		d.Records[scenario] = map[string]map[float64]map[string]Record{}
+		for _, mix := range d.Mixes {
+			for _, name := range mix.Names {
+				w, err := h.aloneRate(name, threads)
+				if err != nil {
+					return nil, err
+				}
+				d.Alone[scenario][name] = w
+			}
+		}
+	}
+	for i, k := range keys {
+		if d.Records[k.scenario][k.tech] == nil {
+			d.Records[k.scenario][k.tech] = map[float64]map[string]Record{}
+		}
+		if d.Records[k.scenario][k.tech][k.capW] == nil {
+			d.Records[k.scenario][k.tech][k.capW] = map[string]Record{}
+		}
+		d.Records[k.scenario][k.tech][k.capW][k.mix.Name] = records[i]
+	}
 	return d, nil
 }
 

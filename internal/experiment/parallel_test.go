@@ -1,0 +1,93 @@
+package experiment
+
+import (
+	"context"
+	"reflect"
+	"testing"
+)
+
+// TestSingleAppSweepDeterministicAcrossParallelism is the core guarantee of
+// the sweep engine: scheduling never leaks into results. The same seed must
+// produce deeply-equal data and byte-identical rendered tables whether cells
+// run one at a time or eight at a time.
+func TestSingleAppSweepDeterministicAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two full quick sweeps")
+	}
+	ctx := context.Background()
+	seq, err := runSingleAppSweep(ctx, quickCfg(), RunOpts{Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := runSingleAppSweep(ctx, quickCfg(), RunOpts{Parallel: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Error("SingleAppData differs between parallel=1 and parallel=8")
+	}
+	if a, b := table3From(seq).String(), table3From(par).String(); a != b {
+		t.Errorf("rendered Table 3 differs between parallel=1 and parallel=8:\n--- parallel=1\n%s\n--- parallel=8\n%s", a, b)
+	}
+}
+
+// TestSweepMemoSharedReadOnly documents the memo contract: repeated calls
+// return the same instance, renderers never mutate it, and callers who want
+// to mutate must Clone first.
+func TestSweepMemoSharedReadOnly(t *testing.T) {
+	ctx := context.Background()
+	d1, err := SingleAppSweepOpts(ctx, quickCfg(), RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := SingleAppSweepOpts(ctx, quickCfg(), RunOpts{Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Fatal("memo returned distinct instances for the same Config")
+	}
+
+	snapshot := d1.Clone()
+	_ = table3From(d1).String() // render, which must be a pure read
+	if !reflect.DeepEqual(d1, snapshot) {
+		t.Error("rendering Table 3 mutated the memoized SingleAppData")
+	}
+
+	mut := d1.Clone()
+	mut.Apps[0] = "tampered"
+	for cap := range mut.OptimalConfig {
+		for app := range mut.OptimalConfig[cap] {
+			c := mut.OptimalConfig[cap][app]
+			c.Cores++
+			mut.OptimalConfig[cap][app] = c
+		}
+	}
+	if !reflect.DeepEqual(d1, snapshot) {
+		t.Error("mutating a Clone leaked into the memoized SingleAppData")
+	}
+}
+
+// TestSingleAppSweepRecordsOptimalConfig checks the sweep now retains the
+// oracle's chosen configuration per (cap, app) instead of discarding it.
+func TestSingleAppSweepRecordsOptimalConfig(t *testing.T) {
+	d, err := SingleAppSweepOpts(context.Background(), quickCfg(), RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, capW := range d.Caps {
+		byApp := d.OptimalConfig[capW]
+		if len(byApp) != len(d.Apps) {
+			t.Fatalf("OptimalConfig[%v] has %d apps, want %d", capW, len(byApp), len(d.Apps))
+		}
+		for _, app := range d.Apps {
+			c, ok := byApp[app]
+			if !ok {
+				t.Fatalf("OptimalConfig[%v] missing app %q", capW, app)
+			}
+			if c.Cores <= 0 || c.Sockets <= 0 {
+				t.Errorf("OptimalConfig[%v][%q] = %+v not a real configuration", capW, app, c)
+			}
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -9,6 +10,7 @@ import (
 	"pupil/internal/driver"
 	"pupil/internal/machine"
 	"pupil/internal/report"
+	"pupil/internal/sweep"
 	"pupil/internal/telemetry"
 	"pupil/internal/workload"
 )
@@ -23,22 +25,18 @@ type SensitivityRow struct {
 }
 
 // Sensitivity reproduces the spirit of the paper's sensitivity analysis
-// (Section 5.6): PUPiL's converged efficiency and cap compliance as sensor
-// noise grows from none to an order of magnitude beyond the default. A
-// feedback-filtered decision framework should degrade gracefully — results
-// account for the overhead and noise of the capping system itself.
+// (Section 5.6) with default execution options.
 func Sensitivity(cfg Config) ([]SensitivityRow, *report.Table, error) {
-	plat := machine.E52690Server()
-	prof, err := workload.ByName("bodytrack")
-	if err != nil {
-		return nil, nil, err
-	}
-	specs := []workload.Spec{{Profile: prof, Threads: singleAppThreads}}
-	apps, err := workload.NewInstances(specs)
-	if err != nil {
-		return nil, nil, err
-	}
+	return SensitivityOpts(context.Background(), cfg, RunOpts{})
+}
 
+// SensitivityOpts reproduces the sensitivity analysis (Section 5.6) on a
+// bounded worker pool: PUPiL's converged efficiency and cap compliance as
+// sensor noise grows from none to an order of magnitude beyond the default.
+// A feedback-filtered decision framework should degrade gracefully — results
+// account for the overhead and noise of the capping system itself.
+func SensitivityOpts(ctx context.Context, cfg Config, opts RunOpts) ([]SensitivityRow, *report.Table, error) {
+	plat := machine.E52690Server()
 	caps := cfg.Caps()
 	levels := []struct {
 		label string
@@ -55,7 +53,84 @@ func Sensitivity(cfg Config) ([]SensitivityRow, *report.Table, error) {
 		dur = 30 * time.Second
 	}
 
+	instances := func() ([]workload.Spec, []*workload.Instance, error) {
+		prof, err := workload.ByName("bodytrack")
+		if err != nil {
+			return nil, nil, err
+		}
+		specs := []workload.Spec{{Profile: prof, Threads: singleAppThreads}}
+		apps, err := workload.NewInstances(specs)
+		return specs, apps, err
+	}
+
+	// Stage 1: the per-cap Optimal normalizations (level-independent).
+	optCells := make([]sweep.Cell[float64], len(caps))
+	for i, capW := range caps {
+		capW := capW
+		optCells[i] = sweep.Cell[float64]{
+			Label: fmt.Sprintf("optimal/%.0fW", capW),
+			Run: func(ctx context.Context) (float64, error) {
+				_, apps, err := instances()
+				if err != nil {
+					return 0, err
+				}
+				_, optEval, ok := control.OptimalSearch(plat, apps, capW, control.TotalRate)
+				if !ok {
+					return 0, fmt.Errorf("no feasible config at %.0f W", capW)
+				}
+				return optEval.TotalRate(), nil
+			},
+		}
+	}
+	optRates, err := sweep.Run(ctx, optCells, opts.sweep())
+	if err != nil {
+		return nil, nil, fmt.Errorf("experiment: sensitivity oracle: %w", err)
+	}
+
+	// Stage 2: one PUPiL run per noise level x cap.
+	type cellOut struct {
+		normalized float64
+		violations float64
+	}
+	var cells []sweep.Cell[cellOut]
+	for _, lv := range levels {
+		lv := lv
+		for i, capW := range caps {
+			i, capW := i, capW
+			cells = append(cells, sweep.Cell[cellOut]{
+				Label: fmt.Sprintf("sensitivity/%s/%.0fW", lv.label, capW),
+				Run: func(ctx context.Context) (cellOut, error) {
+					specs, _, err := instances()
+					if err != nil {
+						return cellOut{}, err
+					}
+					res, err := driver.RunContext(ctx, driver.Scenario{
+						Platform:   plat,
+						Specs:      specs,
+						CapWatts:   capW,
+						Controller: core.NewPUPiL(core.DefaultOrdered(plat)),
+						Duration:   dur,
+						Seed:       cfg.Seed ^ seedFor("sensitivity", lv.label, fmt.Sprintf("%.0f", capW)),
+						PerfNoise:  lv.noise,
+					})
+					if err != nil {
+						return cellOut{}, err
+					}
+					return cellOut{
+						normalized: res.SteadyTotal() / optRates[i],
+						violations: res.ViolationFrac,
+					}, nil
+				},
+			})
+		}
+	}
+	results, err := sweep.Run(ctx, cells, opts.sweep())
+	if err != nil {
+		return nil, nil, fmt.Errorf("experiment: sensitivity sweep: %w", err)
+	}
+
 	var rows []SensitivityRow
+	idx := 0
 	for _, lv := range levels {
 		row := SensitivityRow{
 			Label:      lv.label,
@@ -63,24 +138,9 @@ func Sensitivity(cfg Config) ([]SensitivityRow, *report.Table, error) {
 			Violations: map[float64]float64{},
 		}
 		for _, capW := range caps {
-			_, optEval, ok := control.OptimalSearch(plat, apps, capW, control.TotalRate)
-			if !ok {
-				return nil, nil, fmt.Errorf("experiment: no feasible config at %.0f W", capW)
-			}
-			res, err := driver.Run(driver.Scenario{
-				Platform:   plat,
-				Specs:      specs,
-				CapWatts:   capW,
-				Controller: core.NewPUPiL(core.DefaultOrdered(plat)),
-				Duration:   dur,
-				Seed:       cfg.Seed ^ seedFor("sensitivity", lv.label, fmt.Sprintf("%.0f", capW)),
-				PerfNoise:  lv.noise,
-			})
-			if err != nil {
-				return nil, nil, err
-			}
-			row.Normalized[capW] = res.SteadyTotal() / optEval.TotalRate()
-			row.Violations[capW] = res.ViolationFrac
+			row.Normalized[capW] = results[idx].normalized
+			row.Violations[capW] = results[idx].violations
+			idx++
 		}
 		rows = append(rows, row)
 	}

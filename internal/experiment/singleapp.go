@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -8,8 +9,8 @@ import (
 	"pupil/internal/machine"
 	"pupil/internal/metrics"
 	"pupil/internal/report"
+	"pupil/internal/sweep"
 	"pupil/internal/system"
-	"pupil/internal/workload"
 )
 
 // SingleAppData is the shared single-application sweep: every benchmark
@@ -24,17 +25,75 @@ type SingleAppData struct {
 	// OptimalRate and OptimalPower index cap -> app.
 	OptimalRate  map[float64]map[string]float64
 	OptimalPower map[float64]map[string]float64
+	// OptimalConfig indexes cap -> app: the oracle's winning resource
+	// configuration per cell (the ground truth behind Fig. 5-style
+	// analyses of where hardware-only capping leaves performance behind).
+	OptimalConfig map[float64]map[string]machine.Config
 	// Uncapped holds each app's ground-truth characterization at the max
 	// configuration (Fig. 5's GIPS and bandwidth axes).
 	Uncapped map[string]system.Eval
+}
+
+// Clone returns a deep copy that the caller owns and may mutate freely —
+// the escape hatch from the shared read-only contract of SingleAppSweep.
+func (d *SingleAppData) Clone() *SingleAppData {
+	out := &SingleAppData{
+		Cfg:           d.Cfg,
+		Caps:          append([]float64(nil), d.Caps...),
+		Apps:          append([]string(nil), d.Apps...),
+		Records:       map[string]map[float64]map[string]Record{},
+		OptimalRate:   map[float64]map[string]float64{},
+		OptimalPower:  map[float64]map[string]float64{},
+		OptimalConfig: map[float64]map[string]machine.Config{},
+		Uncapped:      map[string]system.Eval{},
+	}
+	for tech, byCap := range d.Records {
+		for capW, byApp := range byCap {
+			for app, rec := range byApp {
+				putR(out.Records, tech, capW, app, rec.clone())
+			}
+		}
+	}
+	for capW, byApp := range d.OptimalRate {
+		for app, v := range byApp {
+			putF(out.OptimalRate, capW, app, v)
+		}
+	}
+	for capW, byApp := range d.OptimalPower {
+		for app, v := range byApp {
+			putF(out.OptimalPower, capW, app, v)
+		}
+	}
+	for capW, byApp := range d.OptimalConfig {
+		for app, cfg := range byApp {
+			putC(out.OptimalConfig, capW, app, cfg.Clone())
+		}
+	}
+	for app, ev := range d.Uncapped {
+		out.Uncapped[app] = cloneEval(ev)
+	}
+	return out
 }
 
 // singleAppThreads is the paper's single-application thread count: all
 // benchmarks run with up to 32 threads, the hardware maximum.
 const singleAppThreads = 32
 
-// SingleAppSweep runs (or returns the memoized) single-application grid.
+// SingleAppSweep runs (or returns the memoized) single-application grid
+// with default execution options. See SingleAppSweepOpts for the sharing
+// contract on the returned data.
 func SingleAppSweep(cfg Config) (*SingleAppData, error) {
+	return SingleAppSweepOpts(context.Background(), cfg, RunOpts{})
+}
+
+// SingleAppSweepOpts runs (or returns the memoized) single-application grid
+// on a bounded worker pool.
+//
+// The returned *SingleAppData is shared: every caller with the same Config
+// receives the same instance, so it must be treated as read-only. Callers
+// that need to mutate the data must work on a Clone. Results are identical
+// for a given Config at any parallelism.
+func SingleAppSweepOpts(ctx context.Context, cfg Config, opts RunOpts) (*SingleAppData, error) {
 	memoMu.Lock()
 	if d, ok := singleMemo[cfg]; ok {
 		memoMu.Unlock()
@@ -42,55 +101,119 @@ func SingleAppSweep(cfg Config) (*SingleAppData, error) {
 	}
 	memoMu.Unlock()
 
+	d, err := runSingleAppSweep(ctx, cfg, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	memoMu.Lock()
+	defer memoMu.Unlock()
+	// A concurrent caller may have completed the same sweep; keep the
+	// first-stored instance so repeated calls keep returning one pointer.
+	if prev, ok := singleMemo[cfg]; ok {
+		return prev, nil
+	}
+	singleMemo[cfg] = d
+	return d, nil
+}
+
+// runSingleAppSweep always executes the grid (no memo): one cell per
+// benchmark characterization, one per Optimal oracle search, and one per
+// technique run — assembled in cell order so the result is independent of
+// scheduling.
+func runSingleAppSweep(ctx context.Context, cfg Config, opts RunOpts) (*SingleAppData, error) {
 	h, err := newHarness(cfg)
 	if err != nil {
 		return nil, err
 	}
 	d := &SingleAppData{
-		Cfg:          cfg,
-		Caps:         cfg.Caps(),
-		Apps:         cfg.Apps(),
-		Records:      map[string]map[float64]map[string]Record{},
-		OptimalRate:  map[float64]map[string]float64{},
-		OptimalPower: map[float64]map[string]float64{},
-		Uncapped:     map[string]system.Eval{},
+		Cfg:           cfg,
+		Caps:          cfg.Caps(),
+		Apps:          cfg.Apps(),
+		Records:       map[string]map[float64]map[string]Record{},
+		OptimalRate:   map[float64]map[string]float64{},
+		OptimalPower:  map[float64]map[string]float64{},
+		OptimalConfig: map[float64]map[string]machine.Config{},
+		Uncapped:      map[string]system.Eval{},
 	}
 
+	// A cell yields exactly one of: an uncapped characterization, an
+	// oracle result, or a technique record; assembly below consumes them
+	// positionally.
+	type cellOut struct {
+		rec     Record
+		optCfg  machine.Config
+		optRate float64
+		optPow  float64
+		eval    system.Eval
+	}
+	var cells []sweep.Cell[cellOut]
 	for _, app := range d.Apps {
-		prof, err := workload.ByName(app)
-		if err != nil {
-			return nil, err
-		}
-		specs := []workload.Spec{{Profile: prof, Threads: singleAppThreads}}
-		apps, err := workload.NewInstances(specs)
-		if err != nil {
-			return nil, err
-		}
-		d.Uncapped[app] = system.Evaluate(h.plat, machine.MaxConfig(h.plat), apps, 0)
-
-		for _, capW := range d.Caps {
-			optCfg, optEval, ok := control.OptimalSearch(h.plat, apps, capW, control.TotalRate)
-			_ = optCfg
-			if !ok {
-				return nil, fmt.Errorf("experiment: no feasible config for %s at %.0f W", app, capW)
-			}
-			putF(d.OptimalRate, capW, app, optEval.TotalRate())
-			putF(d.OptimalPower, capW, app, optEval.PowerTotal)
-
-			for _, tech := range Techniques() {
-				rec, err := h.run(tech, specs, capW, nil,
-					seedFor(tech, app, fmt.Sprintf("%.0f", capW)))
+		app := app
+		cells = append(cells, sweep.Cell[cellOut]{
+			Label: "uncapped/" + app,
+			Run: func(ctx context.Context) (cellOut, error) {
+				_, apps, err := h.instances(app, singleAppThreads)
 				if err != nil {
-					return nil, fmt.Errorf("experiment: %s/%s/%.0fW: %w", tech, app, capW, err)
+					return cellOut{}, err
 				}
-				putR(d.Records, tech, capW, app, rec)
+				return cellOut{eval: system.Evaluate(h.plat, machine.MaxConfig(h.plat), apps, 0)}, nil
+			},
+		})
+		for _, capW := range d.Caps {
+			capW := capW
+			cells = append(cells, sweep.Cell[cellOut]{
+				Label: fmt.Sprintf("optimal/%s/%.0fW", app, capW),
+				Run: func(ctx context.Context) (cellOut, error) {
+					_, apps, err := h.instances(app, singleAppThreads)
+					if err != nil {
+						return cellOut{}, err
+					}
+					optCfg, optEval, ok := control.OptimalSearch(h.plat, apps, capW, control.TotalRate)
+					if !ok {
+						return cellOut{}, fmt.Errorf("no feasible config for %s at %.0f W", app, capW)
+					}
+					return cellOut{optCfg: optCfg, optRate: optEval.TotalRate(), optPow: optEval.PowerTotal}, nil
+				},
+			})
+			for _, tech := range Techniques() {
+				tech := tech
+				cells = append(cells, sweep.Cell[cellOut]{
+					Label: fmt.Sprintf("%s/%s/%.0fW", tech, app, capW),
+					Run: func(ctx context.Context) (cellOut, error) {
+						specs, _, err := h.instances(app, singleAppThreads)
+						if err != nil {
+							return cellOut{}, err
+						}
+						rec, err := h.run(ctx, tech, specs, capW, nil,
+							seedFor(tech, app, fmt.Sprintf("%.0f", capW)))
+						return cellOut{rec: rec}, err
+					},
+				})
 			}
 		}
 	}
 
-	memoMu.Lock()
-	singleMemo[cfg] = d
-	memoMu.Unlock()
+	results, err := sweep.Run(ctx, cells, opts.sweep())
+	if err != nil {
+		return nil, fmt.Errorf("experiment: single-app sweep: %w", err)
+	}
+
+	i := 0
+	for _, app := range d.Apps {
+		d.Uncapped[app] = results[i].eval
+		i++
+		for _, capW := range d.Caps {
+			putF(d.OptimalRate, capW, app, results[i].optRate)
+			putF(d.OptimalPower, capW, app, results[i].optPow)
+			putC(d.OptimalConfig, capW, app, results[i].optCfg)
+			i++
+			for _, tech := range Techniques() {
+				putR(d.Records, tech, capW, app, results[i].rec)
+				i++
+			}
+		}
+	}
 	return d, nil
 }
 
@@ -109,6 +232,32 @@ func putR(m map[string]map[float64]map[string]Record, tech string, capW float64,
 		m[tech][capW] = map[string]Record{}
 	}
 	m[tech][capW][app] = r
+}
+
+func putC(m map[float64]map[string]machine.Config, capW float64, app string, c machine.Config) {
+	if m[capW] == nil {
+		m[capW] = map[string]machine.Config{}
+	}
+	m[capW][app] = c
+}
+
+// clone deep-copies a Record (slices in SteadyRates, the Eval, and the
+// final Config are all owned by the copy).
+func (r Record) clone() Record {
+	out := r
+	out.SteadyRates = append([]float64(nil), r.SteadyRates...)
+	out.Eval = cloneEval(r.Eval)
+	out.FinalConfig = r.FinalConfig.Clone()
+	return out
+}
+
+func cloneEval(ev system.Eval) system.Eval {
+	out := ev
+	out.Rates = append([]float64(nil), ev.Rates...)
+	out.PowerSocket = append([]float64(nil), ev.PowerSocket...)
+	out.PerAppSpin = append([]float64(nil), ev.PerAppSpin...)
+	out.PerAppBW = append([]float64(nil), ev.PerAppBW...)
+	return out
 }
 
 // Normalized returns a technique's steady performance normalized to
@@ -141,12 +290,14 @@ func (d *SingleAppData) feasible(tech string, capW float64) bool {
 	if capW > 60 {
 		return true
 	}
+	// Iterate apps in grid order, not map order: float accumulation must
+	// be deterministic for rendered tables to be byte-identical.
 	switch tech {
 	case TechSoftDVFS:
 		// Infeasible when the runs could not settle under the cap.
 		settledAll := true
-		for _, rec := range d.Records[tech][capW] {
-			if !rec.Settled {
+		for _, app := range d.Apps {
+			if !d.Records[tech][capW][app].Settled {
 				settledAll = false
 			}
 		}
@@ -154,8 +305,8 @@ func (d *SingleAppData) feasible(tech string, capW float64) bool {
 	case TechSoftModeling:
 		// Excluded when violations dominate.
 		viol, n := 0.0, 0
-		for _, rec := range d.Records[tech][capW] {
-			viol += rec.ViolationFrac
+		for _, app := range d.Apps {
+			viol += d.Records[tech][capW][app].ViolationFrac
 			n++
 		}
 		return n == 0 || viol/float64(n) < 0.2
@@ -170,6 +321,12 @@ func Table3(cfg Config) (*report.Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	return table3From(d), nil
+}
+
+// table3From renders Table 3 from sweep data (split out so determinism
+// tests can render two independently-run sweeps without the memo).
+func table3From(d *SingleAppData) *report.Table {
 	t := report.NewTable("Table 3: Comparison of Harmonic Mean Performance (normalized to optimal)",
 		append([]string{"Power Cap"}, Techniques()...)...)
 	for _, capW := range d.Caps {
@@ -187,7 +344,7 @@ func Table3(cfg Config) (*report.Table, error) {
 		}
 		t.AddRow(row...)
 	}
-	return t, nil
+	return t
 }
 
 // Fig3 renders per-application normalized performance, one table per cap.

@@ -1,0 +1,28 @@
+package experiment
+
+import (
+	"context"
+	"testing"
+)
+
+// The sweep benchmarks time the full quick single-application grid without
+// the memo, sequentially and on four workers. On a multi-core host the
+// parallel run should be at least ~2x faster (cells are pure CPU); on a
+// single-core host the two are equivalent — compare the two ns/op figures
+// via `make bench-sweep`.
+
+func benchSweep(b *testing.B, parallel int) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d, err := runSingleAppSweep(context.Background(), quickCfg(), RunOpts{Parallel: parallel})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(d.Apps) == 0 {
+			b.Fatal("empty sweep")
+		}
+	}
+}
+
+func BenchmarkSweepSequential(b *testing.B) { benchSweep(b, 1) }
+func BenchmarkSweepParallel(b *testing.B)   { benchSweep(b, 4) }

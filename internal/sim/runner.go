@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"time"
 )
@@ -62,8 +63,27 @@ func (r *Runner) Run(d time.Duration) {
 // time stop (evaluated after each tick) returns true. A nil stop never
 // stops early.
 func (r *Runner) RunUntil(d time.Duration, stop func(now time.Duration) bool) {
+	_ = r.run(nil, d, stop)
+}
+
+// RunContext advances the simulation by d like Run, but aborts between
+// kernel ticks once ctx is cancelled and returns the context's error — the
+// hook that lets a cancelled or failed sweep stop a simulation mid-run
+// instead of finishing the cell.
+func (r *Runner) RunContext(ctx context.Context, d time.Duration) error {
+	return r.run(ctx, d, nil)
+}
+
+// run is the kernel loop. A nil ctx (the legacy Run/RunUntil paths) is
+// never cancelled and costs nothing to check.
+func (r *Runner) run(ctx context.Context, d time.Duration, stop func(now time.Duration) bool) error {
 	end := r.Clock.Now() + d
 	for r.Clock.Now() < end {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		r.Clock.Advance(Tick)
 		now := r.Clock.Now()
 		if r.World != nil {
@@ -75,7 +95,8 @@ func (r *Runner) RunUntil(d time.Duration, stop func(now time.Duration) bool) {
 			}
 		}
 		if stop != nil && stop(now) {
-			return
+			return nil
 		}
 	}
+	return nil
 }
