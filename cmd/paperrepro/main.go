@@ -8,8 +8,8 @@
 //
 // -only selects a comma-separated subset of experiment names:
 // table1,table2,fig1,eas,table3,fig3,fig4,fig5,table4,table5,fig6,table6,fig7,fig8,
-// sensitivity. Unknown names are an error (a typo would otherwise silently
-// reproduce nothing).
+// sensitivity,chaos. Unknown names are an error (a typo would otherwise
+// silently reproduce nothing).
 //
 // -parallel bounds the sweep worker pool (default: all cores). Results are
 // bit-identical at any parallelism; only wall-clock changes. Progress for
@@ -37,7 +37,7 @@ import (
 var experimentNames = []string{
 	"table1", "table2", "fig1", "table3", "fig3", "fig4", "fig5",
 	"table4", "table5", "fig6", "table6", "fig7", "sensitivity",
-	"eas", "fig8",
+	"eas", "fig8", "chaos",
 }
 
 func main() {
@@ -182,6 +182,18 @@ func main() {
 		}
 		for i, t := range ts {
 			emit(fmt.Sprintf("fig8_%d", i), t, *csvDir)
+		}
+	}
+	if want("chaos") {
+		if _, err := experiment.ChaosOpts(ctx, cfg, opts("chaos grid")); err != nil {
+			fatal(err)
+		}
+		ts, err := experiment.TableChaos(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		for i, t := range ts {
+			emit([]string{"chaos_breach", "chaos_perf", "chaos_watchdog"}[i], t, *csvDir)
 		}
 	}
 	fmt.Fprintf(os.Stderr, "reproduction completed in %v (parallel=%d)\n",

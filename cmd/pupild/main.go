@@ -35,7 +35,16 @@ func main() {
 	flag.Parse()
 
 	mgr := server.NewManager()
-	srv := &http.Server{Addr: *addr, Handler: server.New(mgr).Handler()}
+	// Connection timeouts guard the daemon against stalled or malicious
+	// peers. No WriteTimeout: telemetry streams are legitimately unbounded
+	// (they end when the node stops or the client goes away).
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New(mgr).Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

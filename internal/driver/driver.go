@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"pupil/internal/core"
+	"pupil/internal/faults"
 	"pupil/internal/machine"
 	"pupil/internal/metrics"
 	"pupil/internal/sim"
@@ -70,6 +71,14 @@ type Scenario struct {
 	PerfNoise *telemetry.NoiseSpec
 	// NoRAPL marks the platform as lacking hardware capping support.
 	NoRAPL bool
+	// Faults is the deterministic fault profile injected into the run
+	// (empty means a healthy machine; every hook is then the identity).
+	Faults faults.Profile
+	// Watchdog, when non-nil, enables the supervision layer: sustained cap
+	// breach or a stalled decision loop degrades the run to hardware-only
+	// capping, with exponential-backoff recovery probes. Zero fields take
+	// defaults.
+	Watchdog *WatchdogConfig
 }
 
 // Result is the outcome of a run.
@@ -120,6 +129,20 @@ type Result struct {
 	// spent thermally throttled (zero on platforms without the model).
 	MaxTempC            float64
 	ThermalThrottleFrac float64
+	// BreachSeconds is the wall-clock time the (400 ms-smoothed) true power
+	// spent above cap*1.03 after the 1 s grace period — ViolationFrac
+	// integrated into seconds.
+	BreachSeconds float64
+	// FaultEvents logs every fault onset and clearance observed by the run.
+	FaultEvents []faults.Event
+	// Degradations logs supervision transitions and FinalDegradeLevel is
+	// the ladder rung at the end of the run (both empty/zero without a
+	// watchdog).
+	Degradations      []DegradeEvent
+	FinalDegradeLevel DegradeLevel
+	// ControllerPanics counts decision-framework panics swallowed by the
+	// supervision layer.
+	ControllerPanics int
 }
 
 // SteadyTotal sums the steady per-app rates.
@@ -157,57 +180,85 @@ func Run(s Scenario) (Result, error) {
 // context's error is returned (matchable with errors.Is against
 // context.Canceled or context.DeadlineExceeded).
 func RunContext(ctx context.Context, s Scenario) (Result, error) {
-	if s.Platform == nil {
-		return Result{}, errors.New("driver: scenario has no platform")
-	}
-	if err := s.Platform.Validate(); err != nil {
-		return Result{}, err
-	}
-	if err := ValidateCap(s.CapWatts); err != nil {
-		return Result{}, err
-	}
-	if s.Controller == nil {
-		return Result{}, errors.New("driver: scenario has no controller")
-	}
 	if s.Duration <= 0 {
 		s.Duration = 60 * time.Second
 	}
-	apps, err := workload.NewInstances(s.Specs)
+	w, runner, err := buildWorld(s)
 	if err != nil {
 		return Result{}, err
 	}
+
+	// Initial physics so the controller's Start observes a live system.
+	w.refresh(0)
+	w.ctrl.Start(w)
+	if err := runner.RunContext(ctx, s.Duration); err != nil {
+		return Result{}, fmt.Errorf("driver: run aborted at t=%v: %w", runner.Clock.Now(), err)
+	}
+
+	return w.result(s), nil
+}
+
+// buildWorld validates the scenario and assembles the simulated node, the
+// tick schedule, and the supervision chain shared by Run and Session. The
+// fault ticker observes time first (fault transitions precede everything
+// they corrupt within a tick); the watchdog observes last, after the
+// controller it supervises.
+func buildWorld(s Scenario) (*world, *sim.Runner, error) {
+	if s.Platform == nil {
+		return nil, nil, errors.New("driver: scenario has no platform")
+	}
+	if err := s.Platform.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if err := ValidateCap(s.CapWatts); err != nil {
+		return nil, nil, err
+	}
+	if s.Controller == nil {
+		return nil, nil, errors.New("driver: scenario has no controller")
+	}
+	if err := s.Faults.Validate(); err != nil {
+		return nil, nil, err
+	}
+	apps, err := workload.NewInstances(s.Specs)
+	if err != nil {
+		return nil, nil, err
+	}
 	if len(apps) == 0 {
-		return Result{}, errors.New("driver: scenario has no applications")
+		return nil, nil, errors.New("driver: scenario has no applications")
 	}
 	if len(s.PerfWeights) != 0 && len(s.PerfWeights) != len(apps) {
-		return Result{}, fmt.Errorf("driver: %d perf weights for %d apps", len(s.PerfWeights), len(apps))
+		return nil, nil, fmt.Errorf("driver: %d perf weights for %d apps", len(s.PerfWeights), len(apps))
 	}
 
 	rng := sim.NewRNG(s.Seed)
 	w := newWorld(s, apps, rng)
 	runner := sim.NewRunner(w)
 	w.clock = runner.Clock
+	w.faults.SetClock(w.now)
 
+	sup := &supervised{inner: s.Controller, w: w}
+	if s.Watchdog != nil {
+		w.dog = newWatchdog(w, s.Watchdog.withDefaults())
+		sup.dog = w.dog
+	}
+	w.ctrl = sup
+
+	runner.Register(&faultTicker{w: w})
 	// Sensors observe before firmware and controller act (registration
 	// order is tick order).
 	runner.Register(w.powerSensor)
 	runner.Register(w.perfSensor)
-	for _, s := range w.appSensors {
-		runner.Register(s)
+	for _, sns := range w.appSensors {
+		runner.Register(sns)
 	}
 	for _, fw := range w.firmwares {
 		runner.Register(fw)
 	}
-	runner.Register(&controllerTicker{w: w, c: s.Controller})
-
-	// Initial physics so the controller's Start observes a live system.
-	w.refresh(0)
-	s.Controller.Start(w)
-	if err := runner.RunContext(ctx, s.Duration); err != nil {
-		return Result{}, fmt.Errorf("driver: run aborted at t=%v: %w", runner.Clock.Now(), err)
+	runner.Register(&controllerTicker{w: w, c: w.ctrl})
+	if w.dog != nil {
+		runner.Register(w.dog)
 	}
-
-	return w.result(s), nil
+	return w, runner, nil
 }
 
 // controllerTicker adapts a core.Controller to the simulation kernel.

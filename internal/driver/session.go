@@ -2,12 +2,11 @@ package driver
 
 import (
 	"context"
-	"errors"
 	"time"
 
+	"pupil/internal/faults"
 	"pupil/internal/machine"
 	"pupil/internal/sim"
-	"pupil/internal/workload"
 )
 
 // Session is a resumable run: where Run executes a scenario to completion,
@@ -26,39 +25,10 @@ type Session struct {
 // advancing time. The scenario's Duration is ignored; callers advance
 // explicitly.
 func NewSession(s Scenario) (*Session, error) {
-	if s.Platform == nil {
-		return nil, errors.New("driver: session has no platform")
-	}
-	if err := s.Platform.Validate(); err != nil {
-		return nil, err
-	}
-	if err := ValidateCap(s.CapWatts); err != nil {
-		return nil, err
-	}
-	if s.Controller == nil {
-		return nil, errors.New("driver: session has no controller")
-	}
-	apps, err := workload.NewInstances(s.Specs)
+	w, runner, err := buildWorld(s)
 	if err != nil {
 		return nil, err
 	}
-	if len(apps) == 0 {
-		return nil, errors.New("driver: session has no applications")
-	}
-
-	rng := sim.NewRNG(s.Seed)
-	w := newWorld(s, apps, rng)
-	runner := sim.NewRunner(w)
-	w.clock = runner.Clock
-	runner.Register(w.powerSensor)
-	runner.Register(w.perfSensor)
-	for _, sns := range w.appSensors {
-		runner.Register(sns)
-	}
-	for _, fw := range w.firmwares {
-		runner.Register(fw)
-	}
-	runner.Register(&controllerTicker{w: w, c: s.Controller})
 	return &Session{scenario: s, w: w, runner: runner}, nil
 }
 
@@ -91,10 +61,55 @@ func (s *Session) Advance(d time.Duration) {
 func (s *Session) AdvanceContext(ctx context.Context, d time.Duration) error {
 	if !s.started {
 		s.w.refresh(0)
-		s.scenario.Controller.Start(s.w)
+		s.w.ctrl.Start(s.w)
 		s.started = true
 	}
 	return s.runner.RunContext(ctx, d)
+}
+
+// InjectFault schedules a fault at runtime: the scenario's onset is
+// interpreted relative to the session's current simulated time (onset 0
+// means "starting now"). The scenario is validated before scheduling.
+func (s *Session) InjectFault(sc faults.Scenario) error {
+	if err := sc.Validate(); err != nil {
+		return err
+	}
+	sc.Onset += s.Now()
+	return s.w.faults.Schedule(sc)
+}
+
+// FaultScenarios returns every fault scheduled against this session, with
+// onsets in absolute simulated time.
+func (s *Session) FaultScenarios() faults.Profile { return s.w.faults.Scenarios() }
+
+// FaultEvents returns the log of fault onsets and clearances so far.
+func (s *Session) FaultEvents() []faults.Event { return s.w.faults.Events() }
+
+// FaultsActive reports how many fault scenarios are in effect right now.
+func (s *Session) FaultsActive() int { return s.w.faults.ActiveCount(s.Now()) }
+
+// DegradeLevel returns the supervision ladder's current rung
+// (DegradeNormal when the session has no watchdog).
+func (s *Session) DegradeLevel() DegradeLevel {
+	if s.w.dog == nil {
+		return DegradeNormal
+	}
+	return s.w.dog.level
+}
+
+// Degradations returns the supervision transition log (empty without a
+// watchdog).
+func (s *Session) Degradations() []DegradeEvent {
+	if s.w.dog == nil {
+		return nil
+	}
+	return s.w.dog.eventsCopy()
+}
+
+// BreachSeconds is the running wall-clock time the node's true power has
+// spent above cap*1.03 (after a 1 s startup grace).
+func (s *Session) BreachSeconds() float64 {
+	return float64(s.w.breachTicks) * sensorPeriod.Seconds()
 }
 
 // Power returns the node's current true power draw.
@@ -154,6 +169,14 @@ type Snapshot struct {
 	EnergyJ float64
 	// Apps names the running applications, in launch order.
 	Apps []string
+	// BreachSeconds is the running time spent above cap*1.03.
+	BreachSeconds float64
+	// FaultsActive counts fault scenarios currently in effect.
+	FaultsActive int
+	// DegradeLevel names the supervision rung ("normal" without a
+	// watchdog); Degradations counts supervision transitions so far.
+	DegradeLevel string
+	Degradations int
 }
 
 // TotalRate sums the snapshot's per-application rates.
@@ -174,15 +197,20 @@ func (s *Session) Snapshot() Snapshot {
 	for i, a := range s.w.apps {
 		apps[i] = a.Profile.Name
 	}
-	return Snapshot{
-		Now:        s.Now(),
-		CapWatts:   s.w.capW,
-		PowerWatts: s.w.eval.PowerTotal,
-		Rates:      append([]float64(nil), s.w.eval.Rates...),
-		Config:     s.w.active.Clone(),
-		EnergyJ:    s.w.energyJ,
-		Apps:       apps,
+	sn := Snapshot{
+		Now:           s.Now(),
+		CapWatts:      s.w.capW,
+		PowerWatts:    s.w.eval.PowerTotal,
+		Rates:         append([]float64(nil), s.w.eval.Rates...),
+		Config:        s.w.active.Clone(),
+		EnergyJ:       s.w.energyJ,
+		Apps:          apps,
+		BreachSeconds: s.BreachSeconds(),
+		FaultsActive:  s.FaultsActive(),
+		DegradeLevel:  s.DegradeLevel().String(),
 	}
+	sn.Degradations = len(s.Degradations())
+	return sn
 }
 
 // Result assembles metrics over everything simulated so far, as Run would.

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"pupil/internal/core"
+	"pupil/internal/faults"
 	"pupil/internal/heartbeat"
 	"pupil/internal/machine"
 	"pupil/internal/metrics"
@@ -32,7 +33,16 @@ type world struct {
 	hwOwned bool
 	pending []pendingCfg
 
-	firmwares []*rapl.Firmware
+	firmwares  []*rapl.Firmware
+	raplWindow time.Duration // healthy averaging window (misprogramming baseline)
+	lastCapReq []float64     // last requested cap distribution, pre-corruption
+
+	// Fault injection and supervision (always present; both are inert
+	// pass-throughs when the scenario declares no faults and no watchdog).
+	faults      *faults.Injector
+	dog         *watchdog
+	ctrl        core.Controller
+	breachTicks int // sensor-period ticks with true power above cap*1.03
 
 	eval      system.Eval
 	evalStale bool
@@ -116,6 +126,11 @@ func newWorld(s Scenario, apps []*workload.Instance, rng *sim.RNG) *world {
 		w.heartbeats = append(w.heartbeats, heartbeat.NewMonitor(apps[i].Profile.Name, 4096))
 	}
 
+	// The injector is always built — an empty profile makes every hook the
+	// identity — from a dedicated fork, so scheduling faults never perturbs
+	// the rest of the simulation's randomness.
+	w.faults = faults.NewInjector(s.Faults, rng.Fork("faults"))
+
 	powerNoise, perfNoise := telemetry.DefaultPowerNoise(), telemetry.DefaultPerfNoise()
 	if s.PerfNoise != nil {
 		perfNoise = *s.PerfNoise
@@ -129,22 +144,31 @@ func newWorld(s Scenario, apps []*workload.Instance, rng *sim.RNG) *world {
 	w.powerSensor = telemetry.NewSensor("power", func() float64 { return w.eval.PowerTotal },
 		sensorPeriod, windowLen, powerNoise, rng.Fork("power-sensor"))
 	w.powerSensor.Record(sim.NewSeries("power_w"))
+	w.powerSensor.SetTap(w.faults.SensorTap(faults.TargetPowerSensor))
 	w.perfSensor = telemetry.NewSensor("perf", w.perfSignal,
 		sensorPeriod, windowLen, perfNoise, rng.Fork("perf-sensor"))
 	w.perfSensor.Record(sim.NewSeries("perf"))
+	w.perfSensor.SetTap(w.faults.SensorTap(faults.TargetPerfSensor))
 	for i := range apps {
 		idx := i
-		w.appSensors = append(w.appSensors, telemetry.NewSensor(
+		sns := telemetry.NewSensor(
 			"perf-"+apps[i].Profile.Name,
 			func() float64 { return w.appSignal(idx) },
 			sensorPeriod, windowLen, perfNoise,
-			rng.Fork("app-sensor-"+apps[i].Profile.Name+string(rune('0'+i)))))
+			rng.Fork("app-sensor-"+apps[i].Profile.Name+string(rune('0'+i))))
+		sns.SetTap(w.faults.SensorTap(faults.TargetPerfSensor))
+		w.appSensors = append(w.appSensors, sns)
 	}
 
 	if !s.NoRAPL {
+		raplCfg := rapl.DefaultConfig()
+		w.raplWindow = raplCfg.Window
+		// The firmware reads its power estimates through the injector so
+		// rapl-power faults corrupt what the hardware control loop sees.
+		act := w.faults.WrapActuator(w, s.Platform.Sockets)
 		for sock := 0; sock < s.Platform.Sockets; sock++ {
 			w.firmwares = append(w.firmwares, rapl.NewFirmware(
-				s.Platform, sock, w, rapl.DefaultConfig(),
+				s.Platform, sock, act, raplCfg,
 				rng.Fork("rapl"+string(rune('0'+sock)))))
 		}
 	}
@@ -287,6 +311,9 @@ func (w *world) Step(now, dt time.Duration) {
 			}
 			_ = hb.Beat(now, n)
 		}
+		if now > time.Second && w.eval.PowerTotal > w.capW*1.03 {
+			w.breachTicks++
+		}
 		w.truePower.Add(now, w.eval.PowerTotal)
 		w.spinTrace.Add(now, w.eval.SpinFrac)
 		w.bwTrace.Add(now, w.eval.MemBWGBs)
@@ -337,7 +364,16 @@ func (w *world) RAPLSupported() bool { return !w.noRAPL }
 // page migration, p-state write).
 func (w *world) SetConfig(cfg machine.Config) time.Duration {
 	cfg = cfg.Normalize(w.plat)
-	delay := w.actuationDelay(w.softCfg, cfg)
+	applied, extra, ok := w.faults.FilterConfig(w.now(), w.softCfg, cfg)
+	if !ok {
+		// The request is silently swallowed before reaching the platform:
+		// the caller sees a plausible ready time and nothing changes, so a
+		// later retry (the watchdog's floor, a controller re-walk) still
+		// goes through once the fault clears.
+		return w.now() + w.actuationDelay(w.softCfg, cfg)
+	}
+	cfg = applied.Normalize(w.plat)
+	delay := w.actuationDelay(w.softCfg, cfg) + extra
 	w.softCfg = cfg
 	at := w.now() + delay
 	// Pending changes apply in request order; a request is never
@@ -399,6 +435,7 @@ func (w *world) SetRAPL(perSocket []float64) {
 			fw.SetCap(now, 0)
 		}
 		w.pendingCaps = nil
+		w.lastCapReq = nil
 		w.hwOwned = false
 		return
 	}
@@ -422,14 +459,18 @@ func (w *world) SetRAPL(perSocket []float64) {
 	w.pendingCaps = append(w.pendingCaps, pendingCap{at: at, watts: append([]float64(nil), perSocket...)})
 }
 
-// applyCaps programs every firmware from the distribution vector.
+// applyCaps programs every firmware from the distribution vector. The
+// requested distribution is remembered pre-corruption so a register repair
+// (fault clearing) can restore what software intended; the write itself
+// passes through the misprogramming filter.
 func (w *world) applyCaps(now time.Duration, perSocket []float64) {
+	w.lastCapReq = append(w.lastCapReq[:0], perSocket...)
 	for s, fw := range w.firmwares {
 		c := 0.0
 		if s < len(perSocket) {
 			c = perSocket[s]
 		}
-		fw.SetCap(now, c)
+		fw.SetCap(now, w.faults.FilterRAPLCap(now, c))
 	}
 }
 
@@ -575,6 +616,15 @@ func (w *world) result(s Scenario) Result {
 	}
 	if total > 0 {
 		res.ViolationFrac = float64(violations) / float64(total)
+	}
+	// Breach time integrates the same judged samples into wall-clock
+	// seconds spent over the cap — the robustness headline metric.
+	res.BreachSeconds = float64(violations) * sensorPeriod.Seconds()
+	res.FaultEvents = w.faults.Events()
+	if w.dog != nil {
+		res.Degradations = w.dog.eventsCopy()
+		res.FinalDegradeLevel = w.dog.level
+		res.ControllerPanics = w.dog.panics
 	}
 	return res
 }

@@ -191,6 +191,39 @@ func (c Config) String() string {
 	return b.String()
 }
 
+// Blend returns the configuration reached when only fraction frac of the
+// change from cur to want is applied — a partially-actuated request (some
+// threads migrated, one socket's p-state written, the rest lost). frac <= 0
+// returns cur, frac >= 1 returns want. Integer fields round toward cur;
+// hyperthreading flips only past the halfway point.
+func Blend(cur, want Config, frac float64) Config {
+	if frac <= 0 {
+		return cur.Clone()
+	}
+	if frac >= 1 {
+		return want.Clone()
+	}
+	mix := func(a, b int) int { return a + int(float64(b-a)*frac) }
+	out := cur.Clone()
+	out.Cores = mix(cur.Cores, want.Cores)
+	out.Sockets = mix(cur.Sockets, want.Sockets)
+	out.MemCtls = mix(cur.MemCtls, want.MemCtls)
+	if frac >= 0.5 {
+		out.HT = want.HT
+	}
+	for s := range out.Freq {
+		if s < len(want.Freq) {
+			out.Freq[s] = mix(cur.Freq[s], want.Freq[s])
+		}
+	}
+	for s := range out.Duty {
+		if s < len(want.Duty) {
+			out.Duty[s] = cur.Duty[s] + (want.Duty[s]-cur.Duty[s])*frac
+		}
+	}
+	return out
+}
+
 func clampI(x, lo, hi int) int {
 	if x < lo {
 		return lo

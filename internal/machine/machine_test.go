@@ -361,3 +361,75 @@ func TestMobileSoCDarkSilicon(t *testing.T) {
 		t.Errorf("peak %.2f W should be nearly 2x the sustainable %.1f W (dark silicon)", peak, sustainable)
 	}
 }
+
+// TestBlendEndpointsAndMonotonicity: Blend models partial actuation — the
+// endpoints return clones of the inputs, and intermediate fractions land
+// strictly between distinct configurations.
+func TestBlendEndpoints(t *testing.T) {
+	p := E52690Server()
+	cur, want := MinimalConfig(p), MaxConfig(p)
+
+	if got := Blend(cur, want, 0); !got.Equal(cur) {
+		t.Errorf("Blend(0) = %v, want cur", got)
+	}
+	if got := Blend(cur, want, -1); !got.Equal(cur) {
+		t.Errorf("Blend(-1) = %v, want cur", got)
+	}
+	if got := Blend(cur, want, 1); !got.Equal(want) {
+		t.Errorf("Blend(1) = %v, want want", got)
+	}
+	if got := Blend(cur, want, 2); !got.Equal(want) {
+		t.Errorf("Blend(2) = %v, want want", got)
+	}
+
+	// Endpoint results are clones, not aliases.
+	got := Blend(cur, want, 0)
+	got.Freq[0] = 99
+	if cur.Freq[0] == 99 {
+		t.Error("Blend(0) aliased cur's Freq slice")
+	}
+}
+
+func TestBlendMidpoint(t *testing.T) {
+	p := E52690Server()
+	cur, want := MinimalConfig(p), MaxConfig(p)
+	mid := Blend(cur, want, 0.5)
+	if mid.Equal(cur) || mid.Equal(want) {
+		t.Fatalf("Blend(0.5) = %v degenerated to an endpoint", mid)
+	}
+	if mid.Cores <= cur.Cores || mid.Cores >= want.Cores {
+		t.Errorf("mid Cores = %d not between %d and %d", mid.Cores, cur.Cores, want.Cores)
+	}
+	if mid.HT != want.HT {
+		t.Errorf("HT at frac 0.5 = %v, want the target's %v", mid.HT, want.HT)
+	}
+	if low := Blend(cur, want, 0.25); low.HT != cur.HT {
+		t.Errorf("HT at frac 0.25 = %v, want cur's %v", low.HT, cur.HT)
+	}
+	for s := range mid.Freq {
+		if mid.Freq[s] < cur.Freq[s] || mid.Freq[s] > want.Freq[s] {
+			t.Errorf("mid Freq[%d] = %d outside [%d, %d]", s, mid.Freq[s], cur.Freq[s], want.Freq[s])
+		}
+	}
+	for s := range mid.Duty {
+		lo, hi := cur.Duty[s], want.Duty[s]
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if mid.Duty[s] < lo || mid.Duty[s] > hi {
+			t.Errorf("mid Duty[%d] = %g outside [%g, %g]", s, mid.Duty[s], lo, hi)
+		}
+	}
+}
+
+// TestBlendRoundsTowardCur: integer fields truncate toward the current
+// configuration, modeling the not-yet-migrated remainder.
+func TestBlendRoundsTowardCur(t *testing.T) {
+	p := E52690Server()
+	cur := MinimalConfig(p) // 1 core
+	want := cur.Clone()
+	want.Cores = 2
+	if got := Blend(cur, want, 0.49); got.Cores != 1 {
+		t.Errorf("Blend(0.49) Cores = %d, want 1 (rounds toward cur)", got.Cores)
+	}
+}

@@ -132,6 +132,25 @@ func (f *Firmware) SetCap(now time.Duration, watts float64) {
 // Cap returns the currently programmed limit (0 when uncapped).
 func (f *Firmware) Cap() float64 { return f.capW }
 
+// Window returns the currently programmed averaging window.
+func (f *Firmware) Window() time.Duration { return f.cfg.Window }
+
+// SetWindow re-programs the averaging window (the time-window field of the
+// limit register), restarting the current budget window. A misprogrammed
+// window changes how much burst energy the firmware tolerates before
+// clamping; windows below the actuation sub-interval are clamped to it.
+func (f *Firmware) SetWindow(now time.Duration, window time.Duration) {
+	if window < f.cfg.SubInterval {
+		window = f.cfg.SubInterval
+	}
+	if window == f.cfg.Window {
+		return
+	}
+	f.cfg.Window = window
+	f.windowStart = now
+	f.usedJ = 0
+}
+
 // OperatingPoint returns the firmware's current speed setting and duty.
 func (f *Firmware) OperatingPoint() (freqIdx int, duty float64) {
 	return f.freqIdx, f.duty

@@ -16,6 +16,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log"
+	"runtime/debug"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -24,6 +26,7 @@ import (
 	"pupil/internal/control"
 	"pupil/internal/core"
 	"pupil/internal/driver"
+	"pupil/internal/faults"
 	"pupil/internal/machine"
 	"pupil/internal/telemetry"
 	"pupil/internal/workload"
@@ -37,6 +40,9 @@ var (
 	ErrBadConfig = errors.New("server: bad node config")
 	// ErrClosed reports an operation on a closed manager.
 	ErrClosed = errors.New("server: manager closed")
+	// ErrNotRunning reports a mutation on a node whose tick loop has ended
+	// (done, stopped, or failed).
+	ErrNotRunning = errors.New("server: node not running")
 )
 
 // Defaults for node tick pacing.
@@ -84,6 +90,63 @@ type NodeConfig struct {
 	// MaxSimS stops the node after this much simulated time; 0 runs until
 	// deleted.
 	MaxSimS float64 `json:"max_sim_s,omitempty"`
+	// Watchdog enables the node's supervision layer: sustained cap breach
+	// or a stalled decision loop degrades the node to hardware-only
+	// capping, with exponential-backoff recovery probes.
+	Watchdog bool `json:"watchdog,omitempty"`
+	// Faults schedules deterministic fault scenarios at creation; more can
+	// be injected later through POST /v1/nodes/{id}/faults.
+	Faults []FaultConfig `json:"faults,omitempty"`
+}
+
+// FaultConfig is the API form of one fault scenario. Kind/Target pairs and
+// magnitude semantics follow the faults package ("stall"/"controller",
+// "stuck"/"power-sensor", "misprogram"/"rapl-cap", ...).
+type FaultConfig struct {
+	Kind      string  `json:"kind"`
+	Target    string  `json:"target"`
+	OnsetS    float64 `json:"onset_s,omitempty"`
+	DurationS float64 `json:"duration_s"`
+	Magnitude float64 `json:"magnitude,omitempty"`
+}
+
+// scenario converts to the engine's representation; validation happens in
+// the faults package so the API rejects exactly what the engine would.
+func (f FaultConfig) scenario() faults.Scenario {
+	return faults.Scenario{
+		Kind:      faults.Kind(f.Kind),
+		Target:    faults.Target(f.Target),
+		Onset:     time.Duration(f.OnsetS * float64(time.Second)),
+		Duration:  time.Duration(f.DurationS * float64(time.Second)),
+		Magnitude: f.Magnitude,
+	}
+}
+
+func faultConfigOf(sc faults.Scenario) FaultConfig {
+	return FaultConfig{
+		Kind:      string(sc.Kind),
+		Target:    string(sc.Target),
+		OnsetS:    sc.Onset.Seconds(),
+		DurationS: sc.Duration.Seconds(),
+		Magnitude: sc.Magnitude,
+	}
+}
+
+// FaultEvent is the API view of one fault onset or clearance.
+type FaultEvent struct {
+	SimS   float64 `json:"sim_s"`
+	Fault  string  `json:"fault"`
+	Active bool    `json:"active"`
+}
+
+// FaultInfo is the API view of a node's fault-injection state.
+type FaultInfo struct {
+	// Scenarios lists every scheduled fault, onsets in absolute sim time.
+	Scenarios []FaultConfig `json:"scenarios"`
+	// Active counts scenarios currently in effect.
+	Active int `json:"active"`
+	// Events logs onsets and clearances observed so far.
+	Events []FaultEvent `json:"events"`
 }
 
 // Sample is one per-tick telemetry record pushed to stream subscribers.
@@ -103,6 +166,11 @@ type Sample struct {
 	// Dropped counts samples this subscriber lost to a full buffer; it is
 	// filled in by the streaming layer, not the producer.
 	Dropped uint64 `json:"dropped,omitempty"`
+	// FaultsActive counts fault scenarios in effect when sampled.
+	FaultsActive int `json:"faults_active,omitempty"`
+	// Degraded reports whether the supervision layer has the node off its
+	// normal rung (hardware-only, cap-backoff, or probing).
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // State is a node's lifecycle phase.
@@ -113,6 +181,7 @@ const (
 	StateRunning State = "running" // tick loop advancing
 	StateDone    State = "done"    // reached MaxSimS; state still queryable
 	StateStopped State = "stopped" // cancelled by delete or shutdown
+	StateFailed  State = "failed"  // session panicked; last state queryable
 )
 
 // NodeStatus is the API view of a node.
@@ -131,6 +200,17 @@ type NodeStatus struct {
 	PerfHBs        float64  `json:"perf_hbs"`
 	EnergyJ        float64  `json:"energy_j"`
 	Subscribers    int      `json:"subscribers"`
+	// BreachSeconds is the running time the node's power spent above
+	// cap*1.03 (after a 1 s startup grace).
+	BreachSeconds float64 `json:"breach_seconds"`
+	// FaultsActive counts fault scenarios currently in effect.
+	FaultsActive int `json:"faults_active"`
+	// DegradeLevel names the supervision rung ("normal", "hardware-only",
+	// "cap-backoff", "probing"); Degradations counts transitions so far.
+	DegradeLevel string `json:"degrade_level"`
+	Degradations int    `json:"degradations"`
+	// FailReason carries the panic message of a failed node.
+	FailReason string `json:"fail_reason,omitempty"`
 }
 
 // Node is one live simulated machine owned by the manager.
@@ -142,10 +222,12 @@ type Node struct {
 	tickReal time.Duration
 	maxSim   time.Duration
 
-	mu    sync.Mutex // guards sess, last, state
-	sess  *driver.Session
-	last  Sample
-	state State
+	mu         sync.Mutex // guards sess, last, lastSnap, state, failReason
+	sess       *driver.Session
+	last       Sample
+	lastSnap   driver.Snapshot // last coherent snapshot, for failed nodes
+	state      State
+	failReason string
 
 	epoch  atomic.Uint64
 	fan    *telemetry.Fanout[Sample]
@@ -176,11 +258,48 @@ func (n *Node) Subscribe(buffer int) *telemetry.Subscriber[Sample] {
 	return n.fan.Subscribe(buffer)
 }
 
-// Status reports the node's current state.
+// InjectFault schedules a fault scenario on a running node; the onset is
+// relative to the node's current simulated time.
+func (n *Node) InjectFault(f FaultConfig) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.state != StateRunning {
+		return fmt.Errorf("%w: node %s is %s", ErrNotRunning, n.id, n.state)
+	}
+	return n.sess.InjectFault(f.scenario())
+}
+
+// FaultInfo reports the node's scheduled faults and observed transitions.
+func (n *Node) FaultInfo() FaultInfo {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	info := FaultInfo{Scenarios: []FaultConfig{}, Events: []FaultEvent{}}
+	if n.state == StateFailed {
+		return info
+	}
+	for _, sc := range n.sess.FaultScenarios() {
+		info.Scenarios = append(info.Scenarios, faultConfigOf(sc))
+	}
+	info.Active = n.sess.FaultsActive()
+	for _, ev := range n.sess.FaultEvents() {
+		info.Events = append(info.Events, FaultEvent{
+			SimS:   ev.T.Seconds(),
+			Fault:  ev.Scenario.String(),
+			Active: ev.Active,
+		})
+	}
+	return info
+}
+
+// Status reports the node's current state. A failed node reports its last
+// coherent snapshot rather than touching the broken session.
 func (n *Node) Status() NodeStatus {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	sn := n.sess.Snapshot()
+	sn := n.lastSnap
+	if n.state != StateFailed {
+		sn = n.sess.Snapshot()
+	}
 	return NodeStatus{
 		ID:             n.id,
 		Name:           n.cfg.Name,
@@ -196,20 +315,48 @@ func (n *Node) Status() NodeStatus {
 		PerfHBs:        sn.TotalRate(),
 		EnergyJ:        sn.EnergyJ,
 		Subscribers:    n.fan.Subscribers(),
+		BreachSeconds:  sn.BreachSeconds,
+		FaultsActive:   sn.FaultsActive,
+		DegradeLevel:   sn.DegradeLevel,
+		Degradations:   sn.Degradations,
+		FailReason:     n.failReason,
 	}
 }
 
 // tick advances the session one increment and publishes a sample. It
 // reports whether the loop should continue.
 func (n *Node) tick() bool {
+	smp, publish, cont := n.advance()
+	if publish {
+		n.fan.Publish(smp)
+	}
+	return cont
+}
+
+// advance runs one locked simulation increment. A panic escaping the
+// session (a controller or model blowing up mid-decision) marks this node
+// failed — with its last coherent state still queryable over the API —
+// instead of crashing the daemon and taking every other node down with it.
+func (n *Node) advance() (smp Sample, publish, cont bool) {
 	n.mu.Lock()
+	defer n.mu.Unlock()
+	// Registered after Unlock, so this recover runs first, still holding
+	// the lock the failure state is written under.
+	defer func() {
+		if r := recover(); r != nil {
+			n.state = StateFailed
+			n.failReason = fmt.Sprintf("session panic: %v", r)
+			log.Printf("server: node %s failed: %v\n%s", n.id, r, debug.Stack())
+			smp, publish, cont = Sample{}, false, false
+		}
+	}()
 	if n.state != StateRunning {
-		n.mu.Unlock()
-		return false
+		return Sample{}, false, false
 	}
 	n.sess.Advance(n.tickSim)
 	sn := n.sess.Snapshot()
-	smp := Sample{
+	n.lastSnap = sn
+	smp = Sample{
 		Node:           n.id,
 		Epoch:          n.epoch.Add(1),
 		SimS:           sn.Now.Seconds(),
@@ -217,15 +364,14 @@ func (n *Node) tick() bool {
 		PowerWatts:     sn.PowerWatts,
 		MeanPowerWatts: n.sess.MeanPower(n.tickSim),
 		PerfHBs:        sn.TotalRate(),
+		FaultsActive:   sn.FaultsActive,
+		Degraded:       sn.DegradeLevel != "" && sn.DegradeLevel != "normal",
 	}
 	n.last = smp
 	if n.maxSim > 0 && sn.Now >= n.maxSim {
 		n.state = StateDone
 	}
-	cont := n.state == StateRunning
-	n.mu.Unlock()
-	n.fan.Publish(smp)
-	return cont
+	return smp, true, n.state == StateRunning
 }
 
 // run is the node's tick loop. Ticks are decoupled from wall-clock
@@ -442,13 +588,20 @@ func buildSession(cfg NodeConfig) (*driver.Session, NodeConfig, []string, error)
 	for i, s := range specs {
 		apps[i] = s.Profile.Name
 	}
-	sess, err := driver.NewSession(driver.Scenario{
+	sc := driver.Scenario{
 		Platform:   plat,
 		Specs:      specs,
 		CapWatts:   cfg.CapWatts,
 		Controller: ctrl,
 		Seed:       cfg.Seed,
-	})
+	}
+	for _, f := range cfg.Faults {
+		sc.Faults = append(sc.Faults, f.scenario())
+	}
+	if cfg.Watchdog {
+		sc.Watchdog = driver.DefaultWatchdog()
+	}
+	sess, err := driver.NewSession(sc)
 	if err != nil {
 		return nil, cfg, nil, err
 	}

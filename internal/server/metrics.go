@@ -40,6 +40,15 @@ func (s *Server) writeMetrics(w io.Writer) {
 		func(st NodeStatus) float64 { return st.SimS })
 	gauge("pupil_stream_subscribers", "Live telemetry stream subscribers on the node.",
 		func(st NodeStatus) float64 { return float64(st.Subscribers) })
+	gauge("pupil_faults_active", "Fault scenarios currently in effect on the node.",
+		func(st NodeStatus) float64 { return float64(st.FaultsActive) })
+	gauge("pupil_degraded", "Whether the supervision layer has the node off its normal rung (1) or not (0).",
+		func(st NodeStatus) float64 {
+			if st.DegradeLevel != "" && st.DegradeLevel != "normal" {
+				return 1
+			}
+			return 0
+		})
 
 	fmt.Fprintf(w, "# HELP pupil_energy_joules_total Total simulated energy consumed by the node.\n# TYPE pupil_energy_joules_total counter\n")
 	for _, st := range statuses {
@@ -49,6 +58,22 @@ func (s *Server) writeMetrics(w io.Writer) {
 	for _, st := range statuses {
 		fmt.Fprintf(w, "pupil_epochs_total{node=%q} %d\n", st.ID, st.Epoch)
 	}
+	fmt.Fprintf(w, "# HELP pupil_breach_seconds_total Simulated seconds the node's power spent above cap*1.03.\n# TYPE pupil_breach_seconds_total counter\n")
+	for _, st := range statuses {
+		fmt.Fprintf(w, "pupil_breach_seconds_total{node=%q} %g\n", st.ID, st.BreachSeconds)
+	}
+	fmt.Fprintf(w, "# HELP pupil_degradations_total Supervision ladder transitions on the node.\n# TYPE pupil_degradations_total counter\n")
+	for _, st := range statuses {
+		fmt.Fprintf(w, "pupil_degradations_total{node=%q} %d\n", st.ID, st.Degradations)
+	}
+
+	failed := 0
+	for _, st := range statuses {
+		if st.State == StateFailed {
+			failed++
+		}
+	}
+	fmt.Fprintf(w, "# HELP pupil_nodes_failed Nodes whose sessions panicked and were isolated.\n# TYPE pupil_nodes_failed gauge\npupil_nodes_failed %d\n", failed)
 
 	fmt.Fprintf(w, "# HELP pupil_nodes Live simulated nodes.\n# TYPE pupil_nodes gauge\npupil_nodes %d\n", len(statuses))
 	fmt.Fprintf(w, "# HELP pupil_nodes_created_total Nodes created since server start.\n# TYPE pupil_nodes_created_total counter\npupil_nodes_created_total %d\n", s.mgr.Created())

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"pupil/internal/driver"
+	"pupil/internal/faults"
 )
 
 // Server is the HTTP control plane over a Manager.
@@ -29,6 +30,8 @@ func New(mgr *Manager) *Server {
 	s.mux.HandleFunc("PUT /v1/nodes/{id}/cap", s.handleSetCap)
 	s.mux.HandleFunc("DELETE /v1/nodes/{id}", s.handleDelete)
 	s.mux.HandleFunc("GET /v1/nodes/{id}/stream", s.handleStream)
+	s.mux.HandleFunc("POST /v1/nodes/{id}/faults", s.handleInjectFault)
+	s.mux.HandleFunc("GET /v1/nodes/{id}/faults", s.handleFaults)
 	return s
 }
 
@@ -54,14 +57,18 @@ type apiError struct {
 }
 
 // writeError maps an error to its HTTP status: unknown node → 404, invalid
-// cap or config → 400, closed manager → 503.
+// cap, config, or fault scenario → 400, mutation on a finished node → 409,
+// closed manager → 503.
 func writeError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
 	switch {
 	case errors.Is(err, ErrNotFound):
 		status = http.StatusNotFound
-	case errors.Is(err, ErrBadConfig), errors.Is(err, driver.ErrInvalidCap):
+	case errors.Is(err, ErrBadConfig), errors.Is(err, driver.ErrInvalidCap),
+		errors.Is(err, faults.ErrInvalidScenario):
 		status = http.StatusBadRequest
+	case errors.Is(err, ErrNotRunning):
+		status = http.StatusConflict
 	case errors.Is(err, ErrClosed):
 		status = http.StatusServiceUnavailable
 	}
@@ -134,6 +141,38 @@ func (s *Server) handleSetCap(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, n.Status())
+}
+
+// handleInjectFault schedules a fault on a running node. The body is one
+// FaultConfig; onset is relative to the node's current simulated time.
+// Invalid scenarios (unknown kind/target, negative durations, nonsense
+// magnitudes) are rejected with 400 before touching the node.
+func (s *Server) handleInjectFault(w http.ResponseWriter, r *http.Request) {
+	n, ok := s.node(w, r)
+	if !ok {
+		return
+	}
+	var f FaultConfig
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		writeError(w, fmt.Errorf("%w: %v", ErrBadConfig, err))
+		return
+	}
+	if err := n.InjectFault(f); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, n.FaultInfo())
+}
+
+// handleFaults reports a node's scheduled faults and observed transitions.
+func (s *Server) handleFaults(w http.ResponseWriter, r *http.Request) {
+	n, ok := s.node(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, n.FaultInfo())
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {

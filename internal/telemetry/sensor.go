@@ -91,6 +91,13 @@ func DefaultPowerNoise() NoiseSpec {
 	return NoiseSpec{RelStdDev: 0.015, OutlierProb: 0.002, OutlierMag: 0.3}
 }
 
+// Tap intercepts a sensor's readings after noise is applied but before
+// retention: it returns the (possibly transformed) value and whether the
+// reading is delivered at all. Returning false models a dropout — the
+// sample is lost and the window keeps only stale data. Fault-injection
+// layers install taps to make sensors lie deterministically.
+type Tap func(now time.Duration, v float64) (float64, bool)
+
 // Sensor periodically samples a scalar source, perturbs it per its
 // NoiseSpec, and retains readings in a Window. It implements sim.Ticker.
 type Sensor struct {
@@ -101,6 +108,7 @@ type Sensor struct {
 	rng    *sim.RNG
 	window *Window
 	trace  *sim.Series // optional clean trace of noisy readings
+	tap    Tap
 }
 
 // NewSensor builds a sensor named name sampling source every period. The
@@ -115,6 +123,9 @@ func NewSensor(name string, source func() float64, period time.Duration, windowL
 		window: NewWindow(windowLen),
 	}
 }
+
+// SetTap installs (or, with nil, removes) a reading interceptor.
+func (s *Sensor) SetTap(tap Tap) { s.tap = tap }
 
 // Record attaches a series that receives every noisy reading, for tracing.
 func (s *Sensor) Record(series *sim.Series) { s.trace = series }
@@ -143,6 +154,16 @@ func (s *Sensor) Tick(now time.Duration) {
 	}
 	if v < 0 {
 		v = 0
+	}
+	if s.tap != nil {
+		var ok bool
+		v, ok = s.tap(now, v)
+		if !ok {
+			return // reading lost; the window retains only stale data
+		}
+		if v < 0 {
+			v = 0
+		}
 	}
 	s.window.Add(Reading{T: now, V: v})
 	if s.trace != nil {
