@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-sweep
+.PHONY: check fmt vet build test test-short race bench bench-baseline bench-sweep
 
 # check is the CI gate: formatting, static analysis, build, and the full
 # test suite under the race detector.
@@ -19,12 +19,24 @@ build:
 test:
 	$(GO) test ./...
 
+# test-short skips the sweep-heavy tests (quick grids, golden regeneration
+# inputs) — the split CI uses to keep the race jobs inside their wall time.
+test-short:
+	$(GO) test -short ./...
+
 race:
 	$(GO) test -race ./...
 
-# bench runs the paper-artifact benchmarks plus the server tick benchmark.
-bench: bench-sweep
-	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+# bench runs the hot-path suite (tick, session-advance, sweep-cell,
+# server-tick) best-of-3 and gates it against the committed baseline:
+# >10% time/op growth or any allocs/op growth past the slack fails.
+bench:
+	$(GO) run ./cmd/bench -baseline BENCH_tick.json
+
+# bench-baseline re-measures and rewrites the committed baseline. Run on a
+# quiet machine and commit the diff together with the change that moved it.
+bench-baseline:
+	$(GO) run ./cmd/bench -out BENCH_tick.json
 
 # bench-sweep times the quick single-application grid sequentially and on
 # four workers, then prints the parallel-over-sequential speedup. On a

@@ -39,15 +39,20 @@ func OptimalSearch(p *machine.Platform, apps []*workload.Instance, capWatts floa
 		obj = TotalRate
 	}
 	bestScore := -1.0
+	// One evaluator across the sweep: every configuration is a cache miss,
+	// but the result and scratch buffers are reused for all of them — which
+	// is why the winning eval must be cloned before the next iteration
+	// overwrites it.
+	evaluator := system.NewEvaluator(p, apps)
 	machine.Enumerate(p, func(cfg machine.Config) bool {
-		ev := system.Evaluate(p, cfg, apps, 0)
+		ev := evaluator.Eval(cfg, 0)
 		if ev.PowerTotal > capWatts {
 			return true
 		}
 		if score := obj(ev); score > bestScore {
 			bestScore = score
 			best = cfg.Clone()
-			bestEval = ev
+			bestEval = ev.Clone()
 			ok = true
 		}
 		return true

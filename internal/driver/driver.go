@@ -189,6 +189,7 @@ func RunContext(ctx context.Context, s Scenario) (Result, error) {
 	}
 
 	// Initial physics so the controller's Start observes a live system.
+	w.growTraces(s.Duration)
 	w.refresh(0)
 	w.ctrl.Start(w)
 	if err := runner.RunContext(ctx, s.Duration); err != nil {

@@ -202,7 +202,9 @@ func (d *watchdog) Tick(now time.Duration) {
 
 	switch d.level {
 	case DegradeNormal:
-		if d.haveDecision && now-d.lastDecision > d.cfg.StallTimeout {
+		// The stall boundary is inclusive, matching the breach hold: a
+		// loop silent for exactly StallTimeout is already stalled.
+		if d.haveDecision && now-d.lastDecision >= d.cfg.StallTimeout {
 			d.degrade(now, "decision loop stalled")
 		} else if sustained {
 			d.degrade(now, fmt.Sprintf("sustained breach: %.1f W over %.0f W cap", power, capW))
@@ -223,7 +225,7 @@ func (d *watchdog) Tick(now time.Duration) {
 		switch {
 		case sustained:
 			d.probeFailed(now, "probe failed: cap breached")
-		case now-d.lastDecision > d.cfg.StallTimeout:
+		case now-d.lastDecision >= d.cfg.StallTimeout:
 			d.probeFailed(now, "probe failed: still stalled")
 		case !d.wantRestart && now-d.probeStarted >= d.cfg.RecoveryHold:
 			d.capScale = 1

@@ -44,6 +44,7 @@ type world struct {
 	ctrl        core.Controller
 	breachTicks int // sensor-period ticks with true power above cap*1.03
 
+	evaluator *system.Evaluator
 	eval      system.Eval
 	evalStale bool
 	lastEval  time.Duration
@@ -119,6 +120,7 @@ func newWorld(s Scenario, apps []*workload.Instance, rng *sim.RNG) *world {
 		bwTrace:     sim.NewSeries("mem_bw_gbs"),
 		rawFeedback: s.RawFeedback,
 	}
+	w.evaluator = system.NewEvaluator(s.Platform, apps)
 	for i := range apps {
 		w.rateTrace = append(w.rateTrace, sim.NewSeries(apps[i].Profile.Name))
 		// Applications report progress through the heartbeat interface
@@ -183,6 +185,25 @@ func newWorld(s Scenario, apps []*workload.Instance, rng *sim.RNG) *world {
 	return w
 }
 
+// growTraces preallocates every per-run trace for d of simulated time
+// (samples accrue once per sensor period), so a bounded run's steady-state
+// ticking never reallocates telemetry storage.
+func (w *world) growTraces(d time.Duration) {
+	n := int(d/sensorPeriod) + 2
+	w.truePower.Grow(n)
+	w.spinTrace.Grow(n)
+	w.bwTrace.Grow(n)
+	for _, tr := range w.rateTrace {
+		tr.Grow(n)
+	}
+	if tr := w.powerSensor.Trace(); tr != nil {
+		tr.Grow(n)
+	}
+	if tr := w.perfSensor.Trace(); tr != nil {
+		tr.Grow(n)
+	}
+}
+
 // appSignal is one application's heartbeat rate over the last reporting
 // interval, normalized by its isolated rate when weights are configured.
 func (w *world) appSignal(i int) float64 {
@@ -225,7 +246,7 @@ func (w *world) refresh(now time.Duration) {
 			}
 		}
 	}
-	w.eval = system.Evaluate(w.plat, cfg, w.apps, now)
+	w.eval = w.evaluator.Eval(cfg, now)
 	w.evalStale = false
 	w.lastEval = now
 }
@@ -286,10 +307,16 @@ func (w *world) Step(now, dt time.Duration) {
 			}
 		}
 		w.pendingAff = w.pendingAff[1:]
+		// Affinity feeds the evaluator's cached placement terms, so the
+		// cache is stale as well as the current eval.
+		w.evaluator.Invalidate()
 		w.evalStale = true
 	}
 	for _, a := range w.apps {
 		if a.MaybeShift(now) {
+			// A profile shift changes the app's cached speedup and spin
+			// terms, not just the current eval.
+			w.evaluator.Invalidate()
 			w.evalStale = true
 		}
 	}
@@ -561,12 +588,14 @@ func (w *world) result(s Scenario) Result {
 		TruePower:   w.truePower,
 		EnergyJ:     w.energyJ,
 		FinalConfig: w.softCfg.Clone(),
-		FinalEval:   w.eval,
-		ConfigLog:   w.configLog,
-		OpLog:       w.opLog,
-		SpinTrace:   w.spinTrace,
-		BWTrace:     w.bwTrace,
-		MaxTempC:    w.maxTempC,
+		// The live eval aliases the evaluator's reusable buffers; the
+		// result must survive further stepping.
+		FinalEval: w.eval.Clone(),
+		ConfigLog: w.configLog,
+		OpLog:     w.opLog,
+		SpinTrace: w.spinTrace,
+		BWTrace:   w.bwTrace,
+		MaxTempC:  w.maxTempC,
 	}
 	if w.totalTicks > 0 {
 		res.ThermalThrottleFrac = float64(w.throttleTicks) / float64(w.totalTicks)

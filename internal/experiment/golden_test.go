@@ -1,0 +1,86 @@
+package experiment
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pupil/internal/report"
+)
+
+// update regenerates the golden files instead of comparing against them:
+//
+//	go test ./internal/experiment -run Golden -update
+//
+// Regenerated files must be reviewed and committed; the point of the byte
+// comparison is that any drift in experiment output — however small — is a
+// deliberate, visible decision, not a silent side effect of a hot-path
+// rewrite.
+var update = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+// goldenCSV renders a table as its title plus CSV body, the committed
+// golden format.
+func goldenCSV(t *report.Table) string {
+	return fmt.Sprintf("# %s\n%s", t.Title, t.CSV())
+}
+
+// checkGolden compares got against testdata/golden/<name> byte for byte,
+// or rewrites the file under -update.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s drifted from the committed golden copy.\n--- want\n%s\n--- got\n%s\nIf the change is intended, regenerate with -update and commit the diff.",
+			path, want, got)
+	}
+}
+
+// TestGoldenTable3 pins the quick-config Table 3 byte for byte. The sweep
+// behind it is memoized, so alongside the rest of the package's tests this
+// costs only the render.
+func TestGoldenTable3(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the quick single-app sweep")
+	}
+	d, err := SingleAppSweepOpts(context.Background(), quickCfg(), RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "table3_quick.csv", goldenCSV(table3From(d)))
+}
+
+// TestGoldenChaosTables pins the three chaos tables (cap-violation time,
+// steady performance, supervision ladder) for the quick config.
+func TestGoldenChaosTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the quick chaos grid")
+	}
+	d, err := ChaosOpts(context.Background(), quickCfg(), RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables := tablesChaosFrom(d)
+	names := []string{"chaos_breach_quick.csv", "chaos_perf_quick.csv", "chaos_watchdog_quick.csv"}
+	if len(tables) != len(names) {
+		t.Fatalf("chaos renders %d tables, golden set expects %d", len(tables), len(names))
+	}
+	for i, tbl := range tables {
+		checkGolden(t, names[i], goldenCSV(tbl))
+	}
+}

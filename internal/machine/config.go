@@ -64,38 +64,42 @@ func (c Config) Clone() Config {
 // Normalize clamps every field into the valid range for platform p and
 // fills missing per-socket slices. It returns the normalized copy.
 func (c Config) Normalize(p *Platform) Config {
-	out := c.Clone()
+	return c.NormalizeInto(p, make([]int, p.Sockets), make([]float64, p.Sockets))
+}
+
+// NormalizeInto is Normalize writing the per-socket slices into caller-owned
+// storage (freq and duty must each have length p.Sockets). Hot paths that
+// renormalize every refresh use it to avoid the per-call clone.
+func (c Config) NormalizeInto(p *Platform, freq []int, duty []float64) Config {
+	out := c
 	out.Cores = clampI(out.Cores, 1, p.CoresPerSocket)
 	out.Sockets = clampI(out.Sockets, 1, p.Sockets)
 	out.MemCtls = clampI(out.MemCtls, 1, p.MemCtls)
 	if p.ThreadsPerCore < 2 {
 		out.HT = false
 	}
-	if len(out.Freq) != p.Sockets {
-		f := make([]int, p.Sockets)
-		for s := range f {
-			if s < len(out.Freq) {
-				f[s] = out.Freq[s]
-			}
+	maxFreq := p.NumFreqSettings() - 1
+	for s := range freq {
+		v := 0
+		if s < len(c.Freq) {
+			v = c.Freq[s]
 		}
-		out.Freq = f
+		freq[s] = clampI(v, 0, maxFreq)
 	}
-	for s := range out.Freq {
-		out.Freq[s] = clampI(out.Freq[s], 0, p.NumFreqSettings()-1)
-	}
-	if len(out.Duty) != p.Sockets {
-		d := make([]float64, p.Sockets)
-		for s := range d {
-			d[s] = 1
-			if s < len(out.Duty) && out.Duty[s] > 0 {
-				d[s] = out.Duty[s]
-			}
+	out.Freq = freq
+	// A duty slice of the right length is taken as-is (then clamped); a
+	// missing or short one is filled with full duty, ignoring non-positive
+	// entries.
+	for s := range duty {
+		v := 1.0
+		if len(c.Duty) == p.Sockets {
+			v = c.Duty[s]
+		} else if s < len(c.Duty) && c.Duty[s] > 0 {
+			v = c.Duty[s]
 		}
-		out.Duty = d
+		duty[s] = clampF(v, 0.05, 1)
 	}
-	for s := range out.Duty {
-		out.Duty[s] = clampF(out.Duty[s], 0.05, 1)
-	}
+	out.Duty = duty
 	return out
 }
 

@@ -67,6 +67,17 @@ func (p *Platform) SocketPower(c Config, s int, load SocketLoad) float64 {
 // be shorter than the socket count; missing entries are treated as idle.
 func (p *Platform) Power(c Config, loads []SocketLoad) (total float64, perSocket []float64) {
 	perSocket = make([]float64, p.Sockets)
+	total = p.PowerInto(perSocket, c, loads)
+	return total, perSocket
+}
+
+// PowerInto is Power with a caller-owned per-socket slice (length must be
+// the platform socket count); it returns the total. The evaluator's hot
+// path uses it to avoid a per-refresh allocation.
+func (p *Platform) PowerInto(perSocket []float64, c Config, loads []SocketLoad) (total float64) {
+	if len(perSocket) != p.Sockets {
+		panic("machine: PowerInto slice length mismatch")
+	}
 	for s := 0; s < p.Sockets; s++ {
 		var l SocketLoad
 		if s < len(loads) {
@@ -75,7 +86,7 @@ func (p *Platform) Power(c Config, loads []SocketLoad) (total float64, perSocket
 		perSocket[s] = p.SocketPower(c, s, l)
 		total += perSocket[s]
 	}
-	return total, perSocket
+	return total
 }
 
 // IdlePower returns the machine's power with every active core idle, the

@@ -1,0 +1,12 @@
+package perf
+
+import "testing"
+
+// Standard go-test entry points over the suite, so
+// `go test -bench . ./internal/perf` and the cmd/bench harness measure the
+// exact same bodies under the exact same names.
+
+func BenchmarkRunnerTick(b *testing.B)     { RunnerTick(b) }
+func BenchmarkSessionAdvance(b *testing.B) { SessionAdvance(b) }
+func BenchmarkSweepCell(b *testing.B)      { SweepCell(b) }
+func BenchmarkServerTick(b *testing.B)     { ServerTick(b) }

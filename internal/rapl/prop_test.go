@@ -1,0 +1,212 @@
+package rapl
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"pupil/internal/machine"
+	"pupil/internal/sim"
+)
+
+// modelSocket is an obedient single-socket actuator: its power is a smooth
+// monotone function of the effective speed the firmware programs, with an
+// idle floor the firmware's internal P ~ f^Alpha model does not know about.
+// The exponent deliberately differs from the firmware's Alpha so the
+// property holds under model mismatch, the regime the paper's firmware
+// actually operates in.
+type modelSocket struct {
+	plat  *machine.Platform
+	idleW float64
+	spanW float64
+	alpha float64
+	speed float64 // current effective GHz
+}
+
+func newModelSocket(p *machine.Platform) *modelSocket {
+	m := &modelSocket{plat: p, idleW: 22, spanW: 95, alpha: 1.8}
+	m.speed = m.maxGHz()
+	return m
+}
+
+func (m *modelSocket) maxGHz() float64 { return m.plat.FreqAt(m.plat.NumFreqSettings() - 1) }
+
+func (m *modelSocket) SocketPower(int) float64 {
+	return m.idleW + m.spanW*math.Pow(m.speed/m.maxGHz(), m.alpha)
+}
+
+func (m *modelSocket) SetOperatingPoint(_ int, freqIdx int, duty float64) {
+	m.speed = m.plat.FreqAt(freqIdx) * duty
+}
+
+func (m *modelSocket) maxPower() float64 { return m.idleW + m.spanW }
+
+// floorPower is the power at the lowest operating point the firmware can
+// reach; caps below it are unachievable by construction.
+func (m *modelSocket) floorPower() float64 {
+	s := m.plat.MinGHz() * 0.05
+	return m.idleW + m.spanW*math.Pow(s/m.maxGHz(), m.alpha)
+}
+
+// TestFirmwareWindowBudgetProperty drives the firmware closed-loop against
+// the obedient socket through random cap/window/reprogram sequences and
+// asserts the budget-accounting invariant the hardware-vs-software
+// comparison rests on: once the estimator has warmed up and the loop has had
+// a few windows to settle after each reprogram, the true energy delivered
+// over any completed averaging window never exceeds the window's budget
+// (cap x window, with slack for the discrete sub-interval actuation), and
+// never goes negative.
+func TestFirmwareWindowBudgetProperty(t *testing.T) {
+	plat := machine.E52690Server()
+	for seed := uint64(1); seed <= 12; seed++ {
+		rng := sim.NewRNG(seed)
+		act := newModelSocket(plat)
+
+		sub := []time.Duration{time.Millisecond, 2 * time.Millisecond, 5 * time.Millisecond}[rng.Intn(3)]
+		window := time.Duration(20+rng.Intn(180)) * time.Millisecond
+		if window < 4*sub {
+			window = 4 * sub
+		}
+		cfg := Config{
+			Window:      window,
+			SubInterval: sub,
+			// The budget property is about the control law, not the
+			// estimator: noise and bias off so the bound is exact.
+			EstimatorBias:  0,
+			EstimatorNoise: 0,
+			Warmup:         50 * time.Millisecond,
+			Alpha:          2.2,
+		}
+		fw := NewFirmware(plat, 0, act, cfg, rng.Fork("est"))
+
+		// Achievable caps only: between the operating-point floor (with
+		// headroom) and full power.
+		randomCap := func() float64 {
+			lo := act.floorPower() * 1.3
+			return lo + rng.Float64()*(act.maxPower()-lo)
+		}
+
+		now := time.Duration(0)
+		capW := randomCap()
+		fw.SetCap(now, capW)
+		lastProgram := now
+		nextProgram := now + time.Duration(500+rng.Intn(2500))*time.Millisecond
+
+		trueJ := 0.0 // energy delivered in the firmware's current window
+		checked := 0 // windows the property was asserted on
+		end := 30 * time.Second
+		for now < end {
+			now += cfg.SubInterval
+			if now >= nextProgram {
+				// Random reprogram: new cap, sometimes a new window too.
+				capW = randomCap()
+				fw.SetCap(now, capW)
+				if rng.Float64() < 0.3 {
+					fw.SetWindow(now, time.Duration(20+rng.Intn(180))*time.Millisecond)
+				}
+				lastProgram = now
+				nextProgram = now + time.Duration(500+rng.Intn(2500))*time.Millisecond
+				trueJ = 0
+				continue
+			}
+
+			// Energy delivered over (now-sub, now] at the operating point
+			// chosen by the previous tick; the firmware attributes the same
+			// span to its current window before deciding whether to roll it.
+			dJ := act.SocketPower(0) * cfg.SubInterval.Seconds()
+			trueJ += dJ
+			prevStart := fw.windowStart
+			fw.Tick(now)
+
+			if fw.usedJ < 0 {
+				t.Fatalf("seed %d: internal energy accounting went negative: %v J", seed, fw.usedJ)
+			}
+			if trueJ < 0 {
+				t.Fatalf("seed %d: delivered window energy negative: %v J", seed, trueJ)
+			}
+
+			if fw.windowStart != prevStart {
+				// A window [prevStart, now] just completed. Judge it only
+				// after warmup plus a settling margin past the last
+				// reprogram; the slew-limited solve needs a few windows to
+				// converge (Fig. 4's ~350 ms settling).
+				winLen := now - prevStart
+				settled := prevStart >= lastProgram+cfg.Warmup+4*fw.cfg.Window
+				if settled {
+					budget := capW * winLen.Seconds()
+					slack := act.maxPower() * cfg.SubInterval.Seconds()
+					if trueJ > budget*1.05+slack {
+						t.Fatalf("seed %d: window ending %v used %.3f J over budget %.3f J (cap %.1f W, window %v)",
+							seed, now, trueJ, budget, capW, winLen)
+					}
+					checked++
+				}
+				trueJ = 0
+			}
+		}
+		if checked < 20 {
+			t.Fatalf("seed %d: property asserted on only %d windows — sequence degenerate", seed, checked)
+		}
+	}
+}
+
+// TestFirmwareAccountingInvariants hammers the firmware with fully random
+// programming — including unachievable caps, cap removal, window rewrites
+// mid-flight, and estimator noise — and asserts the state invariants that
+// must hold regardless of whether the cap is meetable: internal window
+// energy never negative, the operating point always on the ladder, duty
+// within its modulation range, and the averaging window always rolling on
+// schedule.
+func TestFirmwareAccountingInvariants(t *testing.T) {
+	plat := machine.E52690Server()
+	for seed := uint64(100); seed < 108; seed++ {
+		rng := sim.NewRNG(seed)
+		act := newModelSocket(plat)
+		cfg := Config{
+			Window:         time.Duration(10+rng.Intn(150)) * time.Millisecond,
+			SubInterval:    []time.Duration{time.Millisecond, 5 * time.Millisecond}[rng.Intn(2)],
+			EstimatorBias:  0.05,
+			EstimatorNoise: 0.05,
+			Warmup:         time.Duration(rng.Intn(300)) * time.Millisecond,
+			Alpha:          2.2,
+		}
+		fw := NewFirmware(plat, 0, act, cfg, rng.Fork("est"))
+
+		now := time.Duration(0)
+		for step := 0; step < 20000; step++ {
+			now += cfg.SubInterval
+			switch {
+			case rng.Float64() < 0.002:
+				// Anything from impossible (1 W) to absurd (10 kW), plus
+				// explicit disable.
+				if rng.Float64() < 0.2 {
+					fw.SetCap(now, 0)
+				} else {
+					fw.SetCap(now, 1+rng.Float64()*10000)
+				}
+			case rng.Float64() < 0.002:
+				// Windows below the sub-interval must clamp, not wedge.
+				fw.SetWindow(now, time.Duration(rng.Intn(200))*time.Millisecond)
+			}
+			fw.Tick(now)
+
+			if fw.usedJ < 0 {
+				t.Fatalf("seed %d step %d: window energy negative: %v", seed, step, fw.usedJ)
+			}
+			idx, duty := fw.OperatingPoint()
+			if idx < 0 || idx >= plat.NumFreqSettings() {
+				t.Fatalf("seed %d step %d: freq index %d off the ladder", seed, step, idx)
+			}
+			if duty < 0.05-1e-12 || duty > 1+1e-12 {
+				t.Fatalf("seed %d step %d: duty %v outside [0.05, 1]", seed, step, duty)
+			}
+			if fw.cfg.Window < fw.cfg.SubInterval {
+				t.Fatalf("seed %d step %d: window %v below sub-interval %v", seed, step, fw.cfg.Window, fw.cfg.SubInterval)
+			}
+			if fw.started && now-fw.windowStart > fw.cfg.Window {
+				t.Fatalf("seed %d step %d: window never rolled (start %v, now %v, window %v)",
+					seed, step, fw.windowStart, now, fw.cfg.Window)
+			}
+		}
+	}
+}

@@ -68,14 +68,29 @@ const (
 // unsaturated items. It returns the per-item allocation. Items with zero
 // weight receive nothing. caps and weights must have equal length.
 func Waterfill(total float64, caps, weights []float64) []float64 {
+	alloc := make([]float64, len(caps))
+	WaterfillInto(alloc, make([]bool, len(caps)), total, caps, weights)
+	return alloc
+}
+
+// WaterfillInto is Waterfill with caller-owned storage: the allocation is
+// written into alloc and saturated is used as scratch (both must match the
+// caps length). It exists for the evaluator's hot path, which waterfills
+// every refresh and reuses its buffers across calls.
+func WaterfillInto(alloc []float64, saturated []bool, total float64, caps, weights []float64) {
 	if len(caps) != len(weights) {
 		panic("sched: Waterfill caps/weights length mismatch")
 	}
-	alloc := make([]float64, len(caps))
-	if total <= 0 {
-		return alloc
+	if len(alloc) != len(caps) || len(saturated) != len(caps) {
+		panic("sched: WaterfillInto storage length mismatch")
 	}
-	saturated := make([]bool, len(caps))
+	for i := range alloc {
+		alloc[i] = 0
+		saturated[i] = false
+	}
+	if total <= 0 {
+		return
+	}
 	remaining := total
 	for iter := 0; iter < len(caps)+1; iter++ {
 		wsum := 0.0
@@ -109,7 +124,6 @@ func Waterfill(total float64, caps, weights []float64) []float64 {
 		}
 		remaining = overflow
 	}
-	return alloc
 }
 
 // Placement describes how a set of applications lands on a configuration's
@@ -133,24 +147,54 @@ type Placement struct {
 // thread count (a thread occupies at most one core), with unused share
 // redistributed.
 func Place(apps []*workload.Instance, totalCores, hwThreads int) Placement {
+	var pp Placer
+	return pp.Place(apps, totalCores, hwThreads)
+}
+
+// Placer computes placements with reusable storage, for hot paths that
+// re-place the same app set on every configuration change. The CoreAlloc
+// slice of a returned Placement aliases the placer's buffer and is
+// overwritten by the next Place call.
+type Placer struct {
+	coreAlloc []float64
+	caps      []float64
+	weights   []float64
+	sat       []bool
+}
+
+// Place computes the same placement as the package-level Place, reusing the
+// placer's buffers.
+func (pp *Placer) Place(apps []*workload.Instance, totalCores, hwThreads int) Placement {
 	n := len(apps)
-	pl := Placement{CoreAlloc: make([]float64, n)}
+	if cap(pp.coreAlloc) < n {
+		pp.coreAlloc = make([]float64, n)
+		pp.caps = make([]float64, n)
+		pp.weights = make([]float64, n)
+		pp.sat = make([]bool, n)
+	}
+	pp.coreAlloc = pp.coreAlloc[:n]
+	pp.caps = pp.caps[:n]
+	pp.weights = pp.weights[:n]
+	pp.sat = pp.sat[:n]
+
+	pl := Placement{CoreAlloc: pp.coreAlloc}
 	if n == 0 || totalCores <= 0 || hwThreads <= 0 {
+		for i := range pp.coreAlloc {
+			pp.coreAlloc[i] = 0
+		}
 		pl.OversubFactor = 1
 		return pl
 	}
-	caps := make([]float64, n)
-	weights := make([]float64, n)
 	for i, a := range apps {
-		caps[i] = float64(a.Threads)
-		if a.AffinityCores > 0 && float64(a.AffinityCores) < caps[i] {
+		pp.caps[i] = float64(a.Threads)
+		if a.AffinityCores > 0 && float64(a.AffinityCores) < pp.caps[i] {
 			// A cpuset mask bounds the cores an app may occupy.
-			caps[i] = float64(a.AffinityCores)
+			pp.caps[i] = float64(a.AffinityCores)
 		}
-		weights[i] = float64(a.Threads)
+		pp.weights[i] = float64(a.Threads)
 		pl.TotalThreads += a.Threads
 	}
-	pl.CoreAlloc = Waterfill(float64(totalCores), caps, weights)
+	WaterfillInto(pp.coreAlloc, pp.sat, float64(totalCores), pp.caps, pp.weights)
 	pl.Oversub = float64(pl.TotalThreads) / float64(hwThreads)
 	pl.OversubFactor = 1.0
 	if pl.Oversub > 1 {
@@ -249,8 +293,21 @@ func Spin(p workload.Profile, parEff, oversub, fRel float64, spanning bool) Spin
 // serial-phase dilation, so it is not charged twice).
 func SpinSteal(spins []SpinState, coreAlloc []float64, totalCores float64, apps []*workload.Instance) (total float64, perApp []float64) {
 	perApp = make([]float64, len(spins))
+	total = SpinStealInto(perApp, spins, coreAlloc, totalCores, apps)
+	return total, perApp
+}
+
+// SpinStealInto is SpinSteal writing per-app contributions into caller-owned
+// storage (length must match spins).
+func SpinStealInto(perApp []float64, spins []SpinState, coreAlloc []float64, totalCores float64, apps []*workload.Instance) (total float64) {
+	if len(perApp) != len(spins) {
+		panic("sched: SpinStealInto storage length mismatch")
+	}
+	for i := range perApp {
+		perApp[i] = 0
+	}
 	if totalCores <= 0 {
-		return 0, perApp
+		return 0
 	}
 	for i, s := range spins {
 		if s.Frac <= 0 || coreAlloc[i] <= 0 {
@@ -266,7 +323,7 @@ func SpinSteal(spins []SpinState, coreAlloc []float64, totalCores float64, apps 
 		perApp[i] = s.Frac * spinners
 		total += perApp[i]
 	}
-	return math.Min(total, MaxSpinFrac), perApp
+	return math.Min(total, MaxSpinFrac)
 }
 
 func clamp01(x float64) float64 {

@@ -103,8 +103,12 @@ func TestFaultInjectionLifecycle(t *testing.T) {
 		"workloads": [{"benchmark": "blackscholes", "threads": 32}]
 	}`)
 
+	// The node free-runs, so simulated time races far ahead of the test's
+	// wall clock: the fault must outlast the whole test in simulated time,
+	// or it expires (and the watchdog recovers) before the stream check
+	// below ever attaches.
 	resp, body := doJSON(t, "POST", ts.URL+"/v1/nodes/"+id+"/faults",
-		`{"kind":"stall","target":"controller","onset_s":1,"duration_s":600}`)
+		`{"kind":"stall","target":"controller","onset_s":1,"duration_s":600000}`)
 	if resp.StatusCode != http.StatusCreated {
 		t.Fatalf("inject: status %d body %v", resp.StatusCode, body)
 	}

@@ -1,0 +1,167 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// The daemon's JSON request decoders are the network-facing attack surface:
+// every byte of a create, cap, or fault body is attacker-controlled. These
+// fuzz targets drive the real handlers (mux, decoder, validation, error
+// mapping) and assert the contract the API tests check pointwise: no input
+// panics the daemon, syntactically or semantically malformed bodies map to
+// exactly 400 with a JSON error body, and nothing outside the handler's
+// documented status set ever escapes. Seed corpora live under
+// testdata/fuzz/ so `go test` replays them as regression cases.
+
+// mustErrorBody asserts a non-2xx response carries the uniform JSON error.
+func mustErrorBody(t *testing.T, rec *httptest.ResponseRecorder) {
+	t.Helper()
+	var e apiError
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Error == "" {
+		t.Fatalf("status %d carried malformed error body %q", rec.Code, rec.Body.String())
+	}
+}
+
+func FuzzCreateNodeDecoder(f *testing.F) {
+	mgr := NewManager()
+	f.Cleanup(func() { mgr.Close() })
+	h := New(mgr).Handler()
+
+	seeds := []string{
+		`{"technique":"RAPL","cap_watts":140,"workloads":[{"benchmark":"jacobi","threads":32}]}`,
+		`{"technique":"PUPiL","cap_watts":60,"mix":"mix7","watchdog":true,"seed":7}`,
+		`{"cap_watts":140,"workloads":[{"benchmark":"x264","threads":32}],"faults":[{"kind":"stall","target":"controller","duration_s":5}]}`,
+		`{"technique":"nope","cap_watts":140}`,
+		`{"cap_watts":-5}`,
+		`{"cap_watts":140,"bogus_field":1}`,
+		`{"cap_watts":`,
+		``,
+		`null`,
+		`[1,2,3]`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	f.Fuzz(func(t *testing.T, body string) {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodPost, "/v1/nodes", strings.NewReader(body))
+		h.ServeHTTP(rec, req)
+		switch rec.Code {
+		case http.StatusCreated:
+			// A fuzzed body that forms a valid config really starts a node;
+			// tear it down so the manager stays bounded across executions.
+			var st NodeStatus
+			if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil || st.ID == "" {
+				t.Fatalf("201 with undecodable status body %q", rec.Body.String())
+			}
+			if err := mgr.Delete(st.ID); err != nil {
+				t.Fatalf("deleting fuzz-created node %s: %v", st.ID, err)
+			}
+		case http.StatusBadRequest:
+			mustErrorBody(t, rec)
+		default:
+			t.Fatalf("create: status %d for body %q", rec.Code, body)
+		}
+		if !json.Valid([]byte(body)) && rec.Code != http.StatusBadRequest {
+			t.Fatalf("create: invalid JSON %q got status %d, want 400", body, rec.Code)
+		}
+	})
+}
+
+// fuzzNode creates one nearly-idle node (hour-long wall ticks, so its run
+// never interferes with the handlers under test) shared by all executions.
+func fuzzNode(f *testing.F, mgr *Manager) *Node {
+	n, err := mgr.Create(NodeConfig{
+		Technique:  "RAPL",
+		CapWatts:   140,
+		TickRealMS: 3_600_000,
+		Workloads:  []WorkloadConfig{{Benchmark: "jacobi", Threads: 32}},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	return n
+}
+
+func FuzzSetCapDecoder(f *testing.F) {
+	mgr := NewManager()
+	f.Cleanup(func() { mgr.Close() })
+	h := New(mgr).Handler()
+	n := fuzzNode(f, mgr)
+
+	seeds := []string{
+		`{"cap_watts":120}`,
+		`{"cap_watts":0}`,
+		`{"cap_watts":-40}`,
+		`{"cap_watts":1e308}`,
+		`{"cap_watts":"140"}`,
+		`{"watts":140}`,
+		`{"cap_watts":140,"extra":true}`,
+		`{`,
+		``,
+		`null`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	f.Fuzz(func(t *testing.T, body string) {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodPut, "/v1/nodes/"+n.ID()+"/cap", strings.NewReader(body))
+		h.ServeHTTP(rec, req)
+		switch rec.Code {
+		case http.StatusOK:
+		case http.StatusBadRequest:
+			mustErrorBody(t, rec)
+		default:
+			t.Fatalf("set-cap: status %d for body %q", rec.Code, body)
+		}
+		if !json.Valid([]byte(body)) && rec.Code != http.StatusBadRequest {
+			t.Fatalf("set-cap: invalid JSON %q got status %d, want 400", body, rec.Code)
+		}
+	})
+}
+
+func FuzzInjectFaultDecoder(f *testing.F) {
+	mgr := NewManager()
+	f.Cleanup(func() { mgr.Close() })
+	h := New(mgr).Handler()
+	n := fuzzNode(f, mgr)
+
+	seeds := []string{
+		`{"kind":"stall","target":"controller","duration_s":5}`,
+		`{"kind":"spike","target":"power-sensor","onset_s":1,"duration_s":5,"magnitude":0.5}`,
+		`{"kind":"misprogram","target":"rapl-cap","duration_s":5,"magnitude":1.4}`,
+		`{"kind":"stall","target":"controller","duration_s":-1}`,
+		`{"kind":"gremlin","target":"controller","duration_s":5}`,
+		`{"kind":"stall","target":"power-sensor","duration_s":5}`,
+		`{"kind":"dropout","target":"power-sensor","duration_s":5,"magnitude":1.5}`,
+		`{"kind":"stall","target":"controller","duration_s":5,"severity":"extreme"}`,
+		`{"kind":1}`,
+		``,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	f.Fuzz(func(t *testing.T, body string) {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodPost, "/v1/nodes/"+n.ID()+"/faults", strings.NewReader(body))
+		h.ServeHTTP(rec, req)
+		switch rec.Code {
+		case http.StatusCreated:
+		case http.StatusBadRequest:
+			mustErrorBody(t, rec)
+		default:
+			t.Fatalf("inject: status %d for body %q", rec.Code, body)
+		}
+		if !json.Valid([]byte(body)) && rec.Code != http.StatusBadRequest {
+			t.Fatalf("inject: invalid JSON %q got status %d, want 400", body, rec.Code)
+		}
+	})
+}

@@ -323,6 +323,38 @@ func (n *Node) Status() NodeStatus {
 	}
 }
 
+// NewDetachedNode builds a node whose tick loop is not started: callers
+// advance it synchronously with StepOnce. The perf harness benchmarks the
+// manager's tick path this way, without goroutine scheduling noise; it is
+// also useful for deterministic tests over the server tick machinery.
+func NewDetachedNode(cfg NodeConfig) (*Node, error) {
+	sess, cfg, apps, err := buildSession(cfg)
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{
+		id:      "detached",
+		cfg:     cfg,
+		apps:    apps,
+		tickSim: DefaultTickSim,
+		sess:    sess,
+		state:   StateRunning,
+		fan:     telemetry.NewFanout[Sample](),
+		done:    make(chan struct{}),
+	}
+	if cfg.TickSimMS > 0 {
+		n.tickSim = time.Duration(cfg.TickSimMS) * time.Millisecond
+	}
+	if cfg.MaxSimS > 0 {
+		n.maxSim = time.Duration(cfg.MaxSimS * float64(time.Second))
+	}
+	return n, nil
+}
+
+// StepOnce advances a detached node one tick synchronously and reports
+// whether the node is still running.
+func (n *Node) StepOnce() bool { return n.tick() }
+
 // tick advances the session one increment and publishes a sample. It
 // reports whether the loop should continue.
 func (n *Node) tick() bool {

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"sync/atomic"
@@ -11,6 +12,24 @@ import (
 	"pupil/internal/driver"
 	"pupil/internal/faults"
 )
+
+// decodeStrict decodes exactly one JSON value from r into v: unknown fields
+// and trailing data after the value are both rejected, so a request body is
+// either the documented shape in full or a 400.
+func decodeStrict(r io.Reader, v any) error {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if err := dec.Decode(&struct{}{}); err != io.EOF {
+		if err == nil {
+			return errors.New("unexpected data after JSON body")
+		}
+		return err
+	}
+	return nil
+}
 
 // Server is the HTTP control plane over a Manager.
 type Server struct {
@@ -91,9 +110,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	var cfg NodeConfig
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&cfg); err != nil {
+	if err := decodeStrict(r.Body, &cfg); err != nil {
 		writeError(w, fmt.Errorf("%w: %v", ErrBadConfig, err))
 		return
 	}
@@ -130,9 +147,7 @@ func (s *Server) handleSetCap(w http.ResponseWriter, r *http.Request) {
 	var body struct {
 		CapWatts float64 `json:"cap_watts"`
 	}
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&body); err != nil {
+	if err := decodeStrict(r.Body, &body); err != nil {
 		writeError(w, fmt.Errorf("%w: %v", ErrBadConfig, err))
 		return
 	}
@@ -153,9 +168,7 @@ func (s *Server) handleInjectFault(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var f FaultConfig
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&f); err != nil {
+	if err := decodeStrict(r.Body, &f); err != nil {
 		writeError(w, fmt.Errorf("%w: %v", ErrBadConfig, err))
 		return
 	}

@@ -31,6 +31,9 @@ type Runner struct {
 	World   World
 	tickers []Ticker
 	periods []time.Duration
+	// nextDue caches each ticker's next firing time so the kernel loop
+	// compares instead of computing a modulo per ticker per tick.
+	nextDue []time.Duration
 }
 
 // NewRunner returns a runner over world with a fresh clock.
@@ -51,6 +54,13 @@ func (r *Runner) Register(t Ticker) {
 	}
 	r.tickers = append(r.tickers, t)
 	r.periods = append(r.periods, p)
+	// First firing: the next multiple of p strictly after the current time
+	// (the kernel never fires tickers at t=0).
+	now := time.Duration(0)
+	if r.Clock != nil {
+		now = r.Clock.Now()
+	}
+	r.nextDue = append(r.nextDue, (now/p+1)*p)
 }
 
 // Run advances the simulation by d. The world steps once per kernel Tick,
@@ -90,7 +100,8 @@ func (r *Runner) run(ctx context.Context, d time.Duration, stop func(now time.Du
 			r.World.Step(now, Tick)
 		}
 		for i, t := range r.tickers {
-			if now%r.periods[i] == 0 {
+			if now >= r.nextDue[i] {
+				r.nextDue[i] = now + r.periods[i]
 				t.Tick(now)
 			}
 		}

@@ -34,6 +34,28 @@ func (s *Series) Add(t time.Duration, v float64) {
 	s.Samples = append(s.Samples, Sample{T: t, V: v})
 }
 
+// Grow reserves capacity for at least n further samples. Callers that know
+// a run's length up front (the driver does: duration / sensor period) use
+// it to keep steady-state ticking free of trace reallocation; when the
+// existing capacity is insufficient it at least doubles, so interleaved
+// Grow/Add sequences stay amortized O(1) like plain append.
+func (s *Series) Grow(n int) {
+	if n <= 0 {
+		return
+	}
+	need := len(s.Samples) + n
+	if cap(s.Samples) >= need {
+		return
+	}
+	newCap := 2 * cap(s.Samples)
+	if newCap < need {
+		newCap = need
+	}
+	grown := make([]Sample, len(s.Samples), newCap)
+	copy(grown, s.Samples)
+	s.Samples = grown
+}
+
 // Len reports the number of samples.
 func (s *Series) Len() int { return len(s.Samples) }
 

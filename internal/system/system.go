@@ -10,11 +10,9 @@
 package system
 
 import (
-	"math"
 	"time"
 
 	"pupil/internal/machine"
-	"pupil/internal/sched"
 	"pupil/internal/workload"
 )
 
@@ -56,192 +54,23 @@ type Eval struct {
 
 // Evaluate computes the steady behaviour of apps on platform p under
 // configuration cfg at simulated time now (which only modulates workload
-// phases).
+// phases). It is the one-shot form of Evaluator: callers evaluating the
+// same app set repeatedly (the simulation loop, the Optimal oracle's
+// exhaustive sweep) hold an Evaluator instead and skip rebuilding the
+// configuration-invariant model terms every call.
 func Evaluate(p *machine.Platform, cfg machine.Config, apps []*workload.Instance, now time.Duration) Eval {
-	cfg = cfg.Normalize(p)
-	n := len(apps)
-	ev := Eval{
-		Rates:      make([]float64, n),
-		PerAppSpin: make([]float64, n),
-		PerAppBW:   make([]float64, n),
-	}
-	totalCores := cfg.TotalCores()
-	hwThreads := cfg.HWThreads()
-	spanning := cfg.Sockets > 1
-	fGHz := cfg.MeanGHz(p)
-	fRel := fGHz / p.BaseGHz()
+	return NewEvaluator(p, apps).Eval(cfg, now)
+}
 
-	if n == 0 {
-		ev.PowerTotal, ev.PowerSocket = p.Power(cfg, nil)
-		return ev
-	}
-
-	pl := sched.Place(apps, totalCores, hwThreads)
-
-	// Per-app effective parallelism and spin behaviour. An application
-	// pinned to a core subset that fits one socket is packed there by the
-	// scheduler and stops paying cross-socket coherence costs — the
-	// mechanism the energy-aware-scheduler extension exploits.
-	capacity := make([]float64, n)
-	spins := make([]sched.SpinState, n)
-	appSpan := make([]bool, n)
-	for i, a := range apps {
-		cores := pl.CoreAlloc[i]
-		appSpan[i] = spanning
-		if a.AffinityCores > 0 && a.AffinityCores <= cfg.Cores {
-			appSpan[i] = false
-		}
-		htFactor := 1.0
-		if cfg.HT && cores > 0 && float64(a.Threads) > cores {
-			// Secondary hardware threads engage in proportion to
-			// how far the app's thread count exceeds its cores.
-			engage := math.Min(1, (float64(a.Threads)-cores)/cores)
-			htFactor = 1 + a.Profile.HTYield*engage
-			if htFactor < 0.1 {
-				htFactor = 0.1
-			}
-		}
-		capacity[i] = cores * htFactor
-		nEff := math.Min(float64(a.Threads), capacity[i])
-		parEff := 1.0
-		if nEff > 1 {
-			parEff = a.Profile.Speedup(nEff, appSpan[i]) / nEff
-		}
-		spins[i] = sched.Spin(a.Profile, parEff, pl.Oversub, fRel, appSpan[i])
-		ev.PerAppSpin[i] = spins[i].Frac
-	}
-
-	// Spin cycles steal capacity from everyone once the system is
-	// oversubscribed: the spinning threads hold quanta other apps could
-	// have used. An app is not charged for its own spinning (that cost is
-	// already in its serial-phase dilation).
-	steal, stealPerApp := sched.SpinSteal(spins, pl.CoreAlloc, float64(totalCores), apps)
-	ev.SpinFrac = steal
-	stealGate := clamp01(pl.Oversub - 1)
-
-	// Compute-side rates (before memory limits). Quanta stolen by other
-	// apps' spinners are throughput lost linearly: the spinning thread
-	// holds the core for its whole slice while the victim's threads wait
-	// (Section 5.4.3 of the paper).
-	compute := make([]float64, n)
-	for i, a := range apps {
-		usefulScale := 1 - (steal-stealPerApp[i])*stealGate*sched.SpinVictimCost
-		if usefulScale < 0.1 {
-			usefulScale = 0.1
-		}
-		nEff := math.Min(float64(a.Threads), capacity[i])
-		if nEff <= 0 {
-			continue
-		}
-		speedup := a.Profile.Speedup(nEff, appSpan[i])
-		compute[i] = a.Profile.BaseRate * fRel * speedup * usefulScale *
-			pl.OversubFactor * spins[i].RateMult * a.Profile.PhaseFactor(now)
-	}
-
-	// Memory-side rates: share achieved bandwidth by demand, with
-	// per-core capability limits that depend on frequency and
-	// hyperthread pressure.
-	availBW := p.TotalBWGBs(cfg.MemCtls)
-	// Spin storms occupy the memory system with coherence traffic.
-	availBW *= 1 - math.Min(0.5, steal*sched.SpinBWPollution)
-	demand := make([]float64, n)
-	bwCap := make([]float64, n)
-	perCoreBW := p.PerCoreBWGBs * (memFreqFloor + (1-memFreqFloor)*fRel)
-	for i, a := range apps {
-		demand[i] = compute[i] * a.Profile.GBPerUnit
-		capable := pl.CoreAlloc[i] * perCoreBW
-		if cfg.HT {
-			capable *= 1 - htBWPenalty*a.Profile.MemIntensity
-		}
-		bwCap[i] = math.Min(capable, math.Max(demand[i], 0))
-	}
-	allocBW := sched.Waterfill(availBW, bwCap, demand)
-
-	// Blend compute and memory legs per app (roofline-style harmonic
-	// blend weighted by memory intensity).
-	for i, a := range apps {
-		mi := a.Profile.MemIntensity
-		if compute[i] <= 0 {
-			ev.Rates[i] = 0
-			continue
-		}
-		if mi <= 0 || a.Profile.GBPerUnit <= 0 {
-			ev.Rates[i] = compute[i]
-			continue
-		}
-		memRate := allocBW[i] / a.Profile.GBPerUnit
-		if memRate <= 0 {
-			// Demand was zero because compute was zero; handled
-			// above. A positive-compute app always has demand.
-			ev.Rates[i] = compute[i] * (1 - mi)
-			continue
-		}
-		ev.Rates[i] = 1 / ((1-mi)/compute[i] + mi/memRate)
-		// The blend lets a compute-heavy app run slightly above its
-		// bandwidth allocation; the traffic it actually moves is still
-		// bounded by that allocation.
-		ev.PerAppBW[i] = math.Min(ev.Rates[i]*a.Profile.GBPerUnit, allocBW[i])
-		ev.MemBWGBs += ev.PerAppBW[i]
-	}
-
-	// Power: translate activity into per-socket loads. Active cores are
-	// spread evenly over active sockets by the OS load balancer; spin
-	// cycles count as fully busy, non-stalled execution.
-	busyCores := 0.0
-	stallNum, stallDen := 0.0, 0.0
-	for i, a := range apps {
-		cores := pl.CoreAlloc[i]
-		if cores <= 0 {
-			continue
-		}
-		busyCores += cores
-		spin := spins[i].Frac
-		// Memory stall fraction of the app's busy (non-spin) time,
-		// discounted by how well its demand was satisfied.
-		sat := 1.0
-		if demand[i] > 1e-9 {
-			sat = clamp01(allocBW[i] / demand[i])
-		}
-		stall := a.Profile.MemIntensity * (0.6 + 0.4*sat)
-		// Spin cycles burn spinPowerFactor of full dynamic power
-		// (PAUSE); express that as an equivalent stall fraction for the
-		// power model.
-		spinStallEq := (1 - spinPowerFactor) / (1 - p.StallPowerFactor)
-		stallNum += cores * ((1-spin)*stall + spin*spinStallEq)
-		stallDen += cores
-
-		// Instruction throughput for the Fig. 5 characterization.
-		ipc := a.Profile.IPC
-		useful := cores * (1 - spin) * (1 - stall*0.5)
-		spinning := cores * spin // spin loops retire instructions too
-		ev.GIPS += (useful + spinning) * fGHz * ipc
-	}
-	busyCores = math.Min(busyCores, float64(totalCores))
-
-	htShare := 0.0
-	if cfg.HT && totalCores > 0 {
-		htShare = clamp01(float64(pl.TotalThreads)/float64(totalCores) - 1)
-	}
-	stall := 0.0
-	if stallDen > 0 {
-		stall = stallNum / stallDen
-	}
-
-	loads := make([]machine.SocketLoad, p.Sockets)
-	active := cfg.Sockets
-	for s := 0; s < active; s++ {
-		loads[s] = machine.SocketLoad{
-			BusyCores: busyCores / float64(active),
-			HTShare:   htShare,
-			StallFrac: stall,
-		}
-	}
-	// Achieved bandwidth spreads across the active controllers.
-	for s := 0; s < cfg.MemCtls && s < p.Sockets; s++ {
-		loads[s].BWGBs = ev.MemBWGBs / float64(cfg.MemCtls)
-	}
-	ev.PowerTotal, ev.PowerSocket = p.Power(cfg, loads)
-	return ev
+// Clone returns a deep copy whose slices are independent of the receiver's.
+// Evals produced by an Evaluator alias its reusable buffers; Clone is how a
+// caller keeps one past the next evaluation.
+func (e Eval) Clone() Eval {
+	e.Rates = append([]float64(nil), e.Rates...)
+	e.PowerSocket = append([]float64(nil), e.PowerSocket...)
+	e.PerAppSpin = append([]float64(nil), e.PerAppSpin...)
+	e.PerAppBW = append([]float64(nil), e.PerAppBW...)
+	return e
 }
 
 // TotalRate sums per-app rates — the aggregate throughput of the machine.

@@ -12,10 +12,16 @@ type Reading struct {
 	V float64
 }
 
-// Window is a bounded sliding window of readings, oldest first.
+// Window is a bounded sliding window of readings, oldest first. Storage is
+// a circular buffer, so adding a reading is O(1) even when the window is
+// full — the sensor tick is on the simulation's hot path and the old
+// shift-on-evict cost dominated whole-run profiles.
 type Window struct {
-	cap  int
-	data []Reading
+	data  []Reading // ring storage, allocated lazily on first Add
+	cap   int
+	head  int // index of the oldest retained reading
+	count int
+	vals  []float64 // scratch reused by Since
 }
 
 // NewWindow returns a window retaining at most capacity readings.
@@ -28,34 +34,68 @@ func NewWindow(capacity int) *Window {
 
 // Add appends a reading, evicting the oldest when full.
 func (w *Window) Add(r Reading) {
-	if len(w.data) == w.cap {
-		copy(w.data, w.data[1:])
-		w.data[len(w.data)-1] = r
+	if w.data == nil {
+		w.data = make([]Reading, w.cap)
+	}
+	if w.count == w.cap {
+		w.data[w.head] = r
+		w.head++
+		if w.head == w.cap {
+			w.head = 0
+		}
 		return
 	}
-	w.data = append(w.data, r)
+	idx := w.head + w.count
+	if idx >= w.cap {
+		idx -= w.cap
+	}
+	w.data[idx] = r
+	w.count++
 }
 
 // Len returns the number of retained readings.
-func (w *Window) Len() int { return len(w.data) }
+func (w *Window) Len() int { return w.count }
+
+// at returns the i-th retained reading, oldest first.
+func (w *Window) at(i int) Reading {
+	idx := w.head + i
+	if idx >= w.cap {
+		idx -= w.cap
+	}
+	return w.data[idx]
+}
 
 // Since returns the values of readings taken at or after t, oldest first.
+// The returned slice is scratch owned by the window and is overwritten by
+// the next Since call; callers consume it before touching the window again.
 func (w *Window) Since(t time.Duration) []float64 {
-	var out []float64
-	for _, r := range w.data {
-		if r.T >= t {
-			out = append(out, r.V)
+	// Readings arrive in time order, so binary-search the first index at
+	// or after t instead of scanning the whole ring.
+	lo, hi := 0, w.count
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if w.at(mid).T < t {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
 	}
-	return out
+	if lo == w.count {
+		return nil
+	}
+	w.vals = w.vals[:0]
+	for i := lo; i < w.count; i++ {
+		w.vals = append(w.vals, w.at(i).V)
+	}
+	return w.vals
 }
 
 // Last returns the most recent reading, or a zero Reading when empty.
 func (w *Window) Last() Reading {
-	if len(w.data) == 0 {
+	if w.count == 0 {
 		return Reading{}
 	}
-	return w.data[len(w.data)-1]
+	return w.at(w.count - 1)
 }
 
 // FilteredMean applies the paper's 3-sigma filter to the readings taken at
