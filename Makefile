@@ -28,8 +28,8 @@ race:
 	$(GO) test -race ./...
 
 # bench runs the hot-path suite (tick, session-advance, sweep-cell,
-# server-tick) best-of-3 and gates it against the committed baseline:
-# >10% time/op growth or any allocs/op growth past the slack fails.
+# server-tick, cluster-epoch) best-of-3 and gates it against the committed
+# baseline: >10% time/op growth or any allocs/op growth past the slack fails.
 bench:
 	$(GO) run ./cmd/bench -baseline BENCH_tick.json
 

@@ -8,8 +8,8 @@
 //
 // -only selects a comma-separated subset of experiment names:
 // table1,table2,fig1,eas,table3,fig3,fig4,fig5,table4,table5,fig6,table6,fig7,fig8,
-// sensitivity,chaos. Unknown names are an error (a typo would otherwise
-// silently reproduce nothing).
+// sensitivity,chaos,cluster. Unknown names are an error (a typo would
+// otherwise silently reproduce nothing).
 //
 // -parallel bounds the sweep worker pool (default: all cores). Results are
 // bit-identical at any parallelism; only wall-clock changes. Progress for
@@ -37,7 +37,7 @@ import (
 var experimentNames = []string{
 	"table1", "table2", "fig1", "table3", "fig3", "fig4", "fig5",
 	"table4", "table5", "fig6", "table6", "fig7", "sensitivity",
-	"eas", "fig8", "chaos",
+	"eas", "fig8", "chaos", "cluster",
 }
 
 func main() {
@@ -195,6 +195,16 @@ func main() {
 		for i, t := range ts {
 			emit([]string{"chaos_breach", "chaos_perf", "chaos_watchdog"}[i], t, *csvDir)
 		}
+	}
+	if want("cluster") {
+		if _, err := experiment.ClusterOpts(ctx, cfg, opts("cluster grid")); err != nil {
+			fatal(err)
+		}
+		t, err := experiment.TableCluster(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		emit("cluster", t, *csvDir)
 	}
 	fmt.Fprintf(os.Stderr, "reproduction completed in %v (parallel=%d)\n",
 		time.Since(start).Round(time.Millisecond), sweep.Workers(*parallel))

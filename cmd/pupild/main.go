@@ -1,6 +1,7 @@
 // Command pupild is the power-cap control plane daemon: it serves the
-// node lifecycle REST API, per-node NDJSON telemetry streams, and a
-// Prometheus-style /metrics exporter over plain stdlib HTTP.
+// node and cluster lifecycle REST APIs, per-node and per-cluster NDJSON
+// telemetry streams, and a Prometheus-style /metrics exporter over plain
+// stdlib HTTP.
 //
 // Start it, then drive it with curl:
 //
@@ -8,10 +9,13 @@
 //	curl -X POST localhost:9500/v1/nodes -d '{"technique":"PUPiL","cap_watts":140,"workloads":[{"benchmark":"x264"}]}'
 //	curl -X PUT localhost:9500/v1/nodes/n1/cap -d '{"cap_watts":100}'
 //	curl -N localhost:9500/v1/nodes/n1/stream
+//	curl -X POST localhost:9500/v1/clusters -d '{"policy":"demand-shift","budget_watts":300,"nodes":[{"workloads":[{"benchmark":"blackscholes","threads":32}]},{"workloads":[{"benchmark":"STREAM","threads":8}]}]}'
+//	curl -X PUT localhost:9500/v1/clusters/c1/budget -d '{"budget_watts":240}'
+//	curl -N localhost:9500/v1/clusters/c1/stream
 //	curl localhost:9500/metrics
 //
 // SIGINT/SIGTERM shut the daemon down gracefully: in-flight requests
-// finish, every node's tick loop drains, and open streams close.
+// finish, every node's and cluster's loop drains, and open streams close.
 package main
 
 import (

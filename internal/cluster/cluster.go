@@ -13,6 +13,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -20,6 +21,7 @@ import (
 	"pupil/internal/core"
 	"pupil/internal/driver"
 	"pupil/internal/machine"
+	"pupil/internal/sweep"
 	"pupil/internal/workload"
 )
 
@@ -111,6 +113,79 @@ func (p DemandShiftPolicy) Rebalance(assigned, meanPower []float64) []float64 {
 	return next
 }
 
+// ProportionalSharePolicy reassigns budget in proportion to each node's
+// observed demand (its mean power over the last step), FastCap-style: the
+// watts a node actually drew are its weight in the next split, so budget
+// flows continuously toward the nodes converting it into work. A
+// max-starvation bound keeps any node from being squeezed below a fixed
+// fraction of its fair (even) share no matter how small its demand, so an
+// idle node always retains enough budget to ramp back up and register
+// demand again.
+type ProportionalSharePolicy struct {
+	// MinShareFrac is the starvation bound: no node's target falls below
+	// MinShareFrac x (total/N) (default 0.5, clamped to [0, 1]).
+	MinShareFrac float64
+	// Smoothing is the fraction of the gap between the current assignment
+	// and the demand-proportional target closed per epoch (default 0.5;
+	// 1 jumps straight to the target).
+	Smoothing float64
+}
+
+// Name implements Policy.
+func (ProportionalSharePolicy) Name() string { return "proportional" }
+
+// Rebalance implements Policy.
+func (p ProportionalSharePolicy) Rebalance(assigned, meanPower []float64) []float64 {
+	minFrac := p.MinShareFrac
+	if minFrac <= 0 {
+		minFrac = 0.5
+	}
+	if minFrac > 1 {
+		minFrac = 1
+	}
+	alpha := p.Smoothing
+	if alpha <= 0 {
+		alpha = 0.5
+	}
+	if alpha > 1 {
+		alpha = 1
+	}
+	next := append([]float64(nil), assigned...)
+	total, demand := 0.0, 0.0
+	for i := range assigned {
+		total += assigned[i]
+		demand += meanPower[i]
+	}
+	if total <= 0 || demand <= 0 {
+		// No budget to split or no demand signal yet (first epoch of a
+		// fresh cluster): keep the assignment.
+		return next
+	}
+	bound := total / float64(len(assigned)) * minFrac
+	for i := range next {
+		target := total * meanPower[i] / demand
+		if target < bound {
+			target = bound
+		}
+		next[i] += alpha * (target - next[i])
+	}
+	return next
+}
+
+// PolicyByName resolves a policy selector ("even", "demand-shift",
+// "proportional" — each policy's Name) to its default-configured policy.
+func PolicyByName(name string) (Policy, error) {
+	switch name {
+	case "", EvenPolicy{}.Name():
+		return EvenPolicy{}, nil
+	case DemandShiftPolicy{}.Name():
+		return DemandShiftPolicy{}, nil
+	case ProportionalSharePolicy{}.Name():
+		return ProportionalSharePolicy{}, nil
+	}
+	return nil, fmt.Errorf("cluster: unknown policy %q (want even, demand-shift, or proportional)", name)
+}
+
 // Config drives a cluster run.
 type Config struct {
 	Nodes       []NodeSpec
@@ -122,6 +197,11 @@ type Config struct {
 	// FloorWatts is the minimum cap any node may be assigned (default:
 	// an estimate that keeps the node's firmware in a reachable regime).
 	FloorWatts float64
+	// Parallel bounds the worker pool Step uses to advance the node
+	// sessions concurrently; values <= 0 mean GOMAXPROCS. Parallelism
+	// never affects results — sessions are independent and demand is
+	// collected position-indexed — only wall-clock time.
+	Parallel int
 }
 
 // NodeResult is one node's outcome.
@@ -234,8 +314,8 @@ func (c *Coordinator) SetBudget(watts float64) error {
 		return fmt.Errorf("cluster: budget: %w", err)
 	}
 	if watts < c.floor*float64(len(c.sessions)) {
-		return fmt.Errorf("cluster: budget %.0f W cannot cover %d nodes at the %.0f W floor",
-			watts, len(c.sessions), c.floor)
+		return fmt.Errorf("cluster: budget %.0f W cannot cover %d nodes at the %.0f W floor: %w",
+			watts, len(c.sessions), c.floor, driver.ErrInvalidCap)
 	}
 	c.budget = watts
 	next := append([]float64(nil), c.assigned...)
@@ -245,7 +325,8 @@ func (c *Coordinator) SetBudget(watts float64) error {
 
 // SetNodeCap reassigns one node's cap directly, bypassing the policy; the
 // difference is taken from (or returned to) the other nodes on the next
-// Step's normalization.
+// Step's normalization. Like every applied assignment change, the
+// reassignment is recorded in CapTrace.
 func (c *Coordinator) SetNodeCap(i int, watts float64) error {
 	if i < 0 || i >= len(c.sessions) {
 		return fmt.Errorf("cluster: no node %d", i)
@@ -254,29 +335,59 @@ func (c *Coordinator) SetNodeCap(i int, watts float64) error {
 		return err
 	}
 	if watts < c.floor {
-		return fmt.Errorf("cluster: cap %.0f W below the %.0f W floor", watts, c.floor)
+		return fmt.Errorf("cluster: cap %.0f W below the %.0f W floor: %w",
+			watts, c.floor, driver.ErrInvalidCap)
 	}
 	if err := c.sessions[i].SetCap(watts); err != nil {
 		return err
 	}
 	c.assigned[i] = watts
+	c.capTrace = append(c.capTrace, append([]float64(nil), c.assigned...))
 	return nil
 }
 
 // Step advances every session by d of simulated time, then observes demand
 // and rebalances the assignment through the policy.
 func (c *Coordinator) Step(d time.Duration) error {
+	return c.StepContext(context.Background(), d)
+}
+
+// StepContext advances every session by d of simulated time on a bounded
+// worker pool (Config.Parallel workers), then observes demand and
+// rebalances the assignment through the policy. Node sessions are
+// independent and per-node demand is collected into its position, so the
+// outcome is identical at any parallelism; cancellation reaches every
+// in-flight session between kernel ticks.
+//
+// Demand is measured over the actual elapsed step — not the configured
+// epoch — so a partial step (Run's final remainder, a serving layer
+// ticking faster than the epoch) rebalances on exactly the samples it
+// simulated rather than mixing in stale pre-step history.
+func (c *Coordinator) StepContext(ctx context.Context, d time.Duration) error {
 	if d <= 0 {
 		return fmt.Errorf("cluster: step %v must be positive", d)
 	}
-	for _, s := range c.sessions {
-		s.Advance(d)
+	cells := make([]sweep.Cell[float64], len(c.sessions))
+	for i, s := range c.sessions {
+		i, s := i, s
+		cells[i] = sweep.Cell[float64]{
+			Label: c.cfg.Nodes[i].Name,
+			Run: func(ctx context.Context) (float64, error) {
+				if err := s.AdvanceContext(ctx, d); err != nil {
+					return 0, err
+				}
+				return s.MeanPower(d), nil
+			},
+		}
+	}
+	meanPower, err := sweep.Run(ctx, cells, sweep.Options{Parallel: c.cfg.Parallel})
+	if err != nil {
+		// A cancelled or failed step leaves the nodes mid-epoch and
+		// possibly out of lockstep; the coordinator is only good for
+		// teardown afterwards.
+		return fmt.Errorf("cluster: step: %w", err)
 	}
 	c.now += d
-	meanPower := make([]float64, len(c.sessions))
-	for i, s := range c.sessions {
-		meanPower[i] = s.MeanPower(c.cfg.Epoch)
-	}
 	next := c.cfg.Policy.Rebalance(c.assigned, meanPower)
 	normalize(next, c.budget, c.floor)
 	return c.apply(next)
@@ -295,6 +406,58 @@ func (c *Coordinator) apply(next []float64) error {
 	c.capTrace = append(c.capTrace, append([]float64(nil), c.assigned...))
 	return nil
 }
+
+// NodeSnapshot is one node's slice of a cluster Snapshot.
+type NodeSnapshot struct {
+	Name string
+	// CapWatts is the node's current assigned cap.
+	CapWatts float64
+	// MeanPower and MeanRate average the node's true power draw and work
+	// rate over the trailing epoch.
+	MeanPower float64
+	MeanRate  float64
+}
+
+// Snapshot is an instantaneous, copyable view of the cluster — the
+// introspection hook a serving layer reads between Steps without paying
+// for full per-node Results.
+type Snapshot struct {
+	Now        time.Duration
+	Policy     string
+	Budget     float64
+	Nodes      []NodeSnapshot
+	TotalPower float64
+	TotalRate  float64
+}
+
+// Snapshot captures the cluster's current state; means window over the
+// trailing epoch.
+func (c *Coordinator) Snapshot() Snapshot {
+	sn := Snapshot{
+		Now:    c.now,
+		Policy: c.cfg.Policy.Name(),
+		Budget: c.budget,
+		Nodes:  make([]NodeSnapshot, len(c.sessions)),
+	}
+	for i, s := range c.sessions {
+		ns := NodeSnapshot{
+			Name:      c.cfg.Nodes[i].Name,
+			CapWatts:  c.assigned[i],
+			MeanPower: s.MeanPower(c.cfg.Epoch),
+			MeanRate:  s.MeanRate(c.cfg.Epoch),
+		}
+		sn.Nodes[i] = ns
+		sn.TotalPower += ns.MeanPower
+		sn.TotalRate += ns.MeanRate
+	}
+	return sn
+}
+
+// NodeCount reports the number of nodes in the cluster.
+func (c *Coordinator) NodeCount() int { return len(c.sessions) }
+
+// Epoch returns the coordinator's configured epoch.
+func (c *Coordinator) Epoch() time.Duration { return c.cfg.Epoch }
 
 // Result assembles the cluster outcome over everything simulated so far.
 func (c *Coordinator) Result() *Result {
@@ -336,8 +499,11 @@ func Run(cfg Config) (*Result, error) {
 }
 
 // normalize rescales an assignment to sum to budget while respecting the
-// per-node floor.
+// per-node floor. Assignments always sum to the budget on return: every
+// watt of the budget stays allocated (Subramaniam & Feng's accounting
+// argument — an unallocated watt is performance left on the table).
 func normalize(caps []float64, budget, floor float64) {
+	n := float64(len(caps))
 	sum := 0.0
 	for i := range caps {
 		if caps[i] < floor {
@@ -345,14 +511,17 @@ func normalize(caps []float64, budget, floor float64) {
 		}
 		sum += caps[i]
 	}
-	if sum <= 0 {
-		return
-	}
 	// Scale the above-floor portion so the total meets the budget
 	// exactly.
-	excess := sum - floor*float64(len(caps))
-	target := budget - floor*float64(len(caps))
+	excess := sum - floor*n
+	target := budget - floor*n
 	if excess <= 0 {
+		// Every node sits exactly at the floor, so there is no
+		// above-floor mass to scale; distribute the remaining target
+		// evenly instead of stranding budget - floor*N watts.
+		for i := range caps {
+			caps[i] = floor + target/n
+		}
 		return
 	}
 	scale := target / excess

@@ -84,3 +84,17 @@ func TestGoldenChaosTables(t *testing.T) {
 		checkGolden(t, names[i], goldenCSV(tbl))
 	}
 }
+
+// TestGoldenClusterTable pins the quick-config cluster-policy comparison —
+// the 3 policies x 3 cluster sizes grid under the budget ramp — byte for
+// byte.
+func TestGoldenClusterTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the quick cluster grid")
+	}
+	d, err := ClusterOpts(context.Background(), quickCfg(), RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "cluster_quick.csv", goldenCSV(tableClusterFrom(d)))
+}

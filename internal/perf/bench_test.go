@@ -10,3 +10,4 @@ func BenchmarkRunnerTick(b *testing.B)     { RunnerTick(b) }
 func BenchmarkSessionAdvance(b *testing.B) { SessionAdvance(b) }
 func BenchmarkSweepCell(b *testing.B)      { SweepCell(b) }
 func BenchmarkServerTick(b *testing.B)     { ServerTick(b) }
+func BenchmarkClusterEpoch(b *testing.B)   { ClusterEpoch(b) }

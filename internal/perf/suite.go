@@ -29,6 +29,7 @@ func Suite() []Benchmark {
 		{Name: "BenchmarkSessionAdvance", Fn: SessionAdvance},
 		{Name: "BenchmarkSweepCell", Fn: SweepCell},
 		{Name: "BenchmarkServerTick", Fn: ServerTick},
+		{Name: "BenchmarkClusterEpoch", Fn: ClusterEpoch},
 	}
 }
 
@@ -140,6 +141,48 @@ func ServerTick(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if !n.StepOnce() {
 			b.Fatal("node stopped during benchmark")
+		}
+	}
+}
+
+// ClusterEpoch measures one cluster-coordinator epoch through the serving
+// layer: advancing four mixed-workload node sessions by one simulated second
+// on the bounded worker pool, rebalancing the budget, applying the new caps,
+// and snapshotting/publishing the epoch sample.
+func ClusterEpoch(b *testing.B) {
+	benchNode := func(name string, threads int) server.ClusterNodeConfig {
+		return server.ClusterNodeConfig{
+			Technique: "RAPL",
+			Workloads: []server.WorkloadConfig{{Benchmark: name, Threads: threads}},
+		}
+	}
+	c, err := server.NewDetachedCluster(server.ClusterConfig{
+		BudgetWatts: 400,
+		Policy:      "demand-shift",
+		Seed:        42,
+		Parallel:    2,
+		Nodes: []server.ClusterNodeConfig{
+			benchNode("blackscholes", 32),
+			benchNode("swaptions", 32),
+			benchNode("kmeans", 8),
+			benchNode("STREAM", 8),
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Step past the startup transient so ops measure the steady rebalance
+	// loop, not first-epoch warm-up.
+	for i := 0; i < 2; i++ {
+		if !c.StepOnce() {
+			b.Fatal("cluster stopped during warm-up")
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !c.StepOnce() {
+			b.Fatal("cluster stopped during benchmark")
 		}
 	}
 }

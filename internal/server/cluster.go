@@ -1,0 +1,523 @@
+package server
+
+// The cluster serving layer promotes cluster.Coordinator from an offline
+// experiment to a served subsystem: each live cluster is owned by its own
+// supervised manager goroutine (the same drain / panic-recovery discipline
+// as the per-node session manager), stepped one coordinator epoch per tick
+// with the node sessions advanced concurrently on a bounded worker pool,
+// and observable over REST, an NDJSON epoch stream, and pupil_cluster_*
+// exporter families.
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pupil/internal/cluster"
+	"pupil/internal/core"
+	"pupil/internal/machine"
+	"pupil/internal/telemetry"
+)
+
+// Defaults for cluster tick pacing.
+const (
+	// DefaultClusterEpochSim is the simulated time one tick (one
+	// coordinator epoch) advances.
+	DefaultClusterEpochSim = time.Second
+	// DefaultClusterTickReal is the wall-clock interval between epochs;
+	// together with DefaultClusterEpochSim a cluster runs at 4x real time.
+	DefaultClusterTickReal = 250 * time.Millisecond
+)
+
+// ClusterNodeConfig names one machine of a cluster to create. Platform,
+// technique, and workload resolution follow NodeConfig exactly.
+type ClusterNodeConfig struct {
+	// Name is an optional human label; defaults to node<index>.
+	Name string `json:"name,omitempty"`
+	// Platform is "server" (default) or "mobile".
+	Platform string `json:"platform,omitempty"`
+	// Technique selects the node-level capper (default PUPiL).
+	Technique string `json:"technique,omitempty"`
+	// Mix launches a named multi-application mix; mutually exclusive with
+	// Workloads.
+	Mix string `json:"mix,omitempty"`
+	// Workloads launches the listed benchmarks together.
+	Workloads []WorkloadConfig `json:"workloads,omitempty"`
+}
+
+// ClusterConfig describes a cluster to create.
+type ClusterConfig struct {
+	// Name is an optional human label; the manager assigns the ID.
+	Name string `json:"name,omitempty"`
+	// Nodes lists the cluster's machines (at least one).
+	Nodes []ClusterNodeConfig `json:"nodes"`
+	// BudgetWatts is the global power budget the coordinator partitions.
+	BudgetWatts float64 `json:"budget_watts"`
+	// Policy selects the rebalancing policy: "even" (default),
+	// "demand-shift", or "proportional".
+	Policy string `json:"policy,omitempty"`
+	// FloorWatts is the minimum cap any node may be assigned (default 25).
+	FloorWatts float64 `json:"floor_watts,omitempty"`
+	// EpochSimMS is the simulated coordinator epoch per tick in
+	// milliseconds (default 1000).
+	EpochSimMS int `json:"epoch_sim_ms,omitempty"`
+	// TickRealMS is the wall-clock interval between epochs in milliseconds
+	// (default 250). FreeRun overrides it.
+	TickRealMS int `json:"tick_real_ms,omitempty"`
+	// FreeRun steps epochs as fast as the host allows.
+	FreeRun bool `json:"free_run,omitempty"`
+	// MaxSimS stops the cluster after this much simulated time; 0 runs
+	// until deleted.
+	MaxSimS float64 `json:"max_sim_s,omitempty"`
+	// Seed makes the cluster's run reproducible.
+	Seed uint64 `json:"seed,omitempty"`
+	// Parallel bounds the worker pool that advances node sessions inside
+	// one epoch (<= 0 means all cores). Never affects results.
+	Parallel int `json:"parallel,omitempty"`
+}
+
+// ClusterNodeStatus is the API view of one node of a cluster.
+type ClusterNodeStatus struct {
+	Index     int      `json:"index"`
+	Name      string   `json:"name"`
+	Technique string   `json:"technique"`
+	Workloads []string `json:"workloads"`
+	// CapWatts is the node's currently assigned share of the budget.
+	CapWatts float64 `json:"cap_watts"`
+	// MeanPowerWatts and MeanRateHBs average the trailing epoch.
+	MeanPowerWatts float64 `json:"mean_power_watts"`
+	MeanRateHBs    float64 `json:"mean_rate_hbs"`
+}
+
+// ClusterStatus is the API view of a cluster.
+type ClusterStatus struct {
+	ID     string `json:"id"`
+	Name   string `json:"name,omitempty"`
+	State  State  `json:"state"`
+	Policy string `json:"policy"`
+	// Epoch counts coordinator epochs stepped so far.
+	Epoch uint64  `json:"epoch"`
+	SimS  float64 `json:"sim_s"`
+	// BudgetWatts is the global budget; node cap_watts always sum to it
+	// after a rebalance.
+	BudgetWatts float64 `json:"budget_watts"`
+	// TotalPowerWatts and TotalPerfHBs sum the nodes' trailing-epoch means.
+	TotalPowerWatts float64             `json:"total_power_watts"`
+	TotalPerfHBs    float64             `json:"total_perf_hbs"`
+	Nodes           []ClusterNodeStatus `json:"nodes"`
+	Subscribers     int                 `json:"subscribers"`
+	// FailReason carries the panic message of a failed cluster.
+	FailReason string `json:"fail_reason,omitempty"`
+}
+
+// ClusterSample is one per-epoch record pushed to cluster stream
+// subscribers.
+type ClusterSample struct {
+	Cluster string  `json:"cluster"`
+	Epoch   uint64  `json:"epoch"`
+	SimS    float64 `json:"sim_s"`
+	// BudgetWatts is the budget in force when the epoch completed.
+	BudgetWatts float64 `json:"budget_watts"`
+	// CapsWatts is the per-node assignment after the epoch's rebalance.
+	CapsWatts []float64 `json:"caps_watts"`
+	// NodePowerWatts is each node's mean power over the epoch.
+	NodePowerWatts []float64 `json:"node_power_watts"`
+	// TotalPowerWatts and TotalPerfHBs sum the nodes' epoch means.
+	TotalPowerWatts float64 `json:"total_power_watts"`
+	TotalPerfHBs    float64 `json:"total_perf_hbs"`
+	// Dropped counts samples this subscriber lost to a full buffer; it is
+	// filled in by the streaming layer, not the producer.
+	Dropped uint64 `json:"dropped,omitempty"`
+}
+
+// Cluster is one live coordinator owned by the manager: its epoch loop, the
+// mutex serializing coordinator access against budget/cap mutations and
+// status reads, and the per-epoch telemetry fan-out.
+type Cluster struct {
+	id       string
+	cfg      ClusterConfig
+	nodeTech []string   // resolved technique per node
+	nodeApps [][]string // resolved workload names per node
+	epochSim time.Duration
+	tickReal time.Duration
+	maxSim   time.Duration
+
+	mu         sync.Mutex // guards coord, last, lastSnap, state, failReason
+	coord      *cluster.Coordinator
+	last       ClusterSample
+	lastSnap   cluster.Snapshot // last coherent snapshot, for failed clusters
+	state      State
+	failReason string
+
+	epoch  atomic.Uint64
+	fan    *telemetry.Fanout[ClusterSample]
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// ID returns the manager-assigned cluster ID.
+func (c *Cluster) ID() string { return c.id }
+
+// Epoch returns how many coordinator epochs the cluster has stepped.
+func (c *Cluster) Epoch() uint64 { return c.epoch.Load() }
+
+// Done is closed when the cluster's epoch loop has exited.
+func (c *Cluster) Done() <-chan struct{} { return c.done }
+
+// Subscribe registers an epoch-stream subscriber with the given ring-buffer
+// capacity. The subscriber's channel closes when the cluster stops.
+func (c *Cluster) Subscribe(buffer int) *telemetry.Subscriber[ClusterSample] {
+	return c.fan.Subscribe(buffer)
+}
+
+// SetBudget changes the cluster's global power budget live; the assignment
+// rescales to the new budget immediately.
+func (c *Cluster) SetBudget(watts float64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.state == StateFailed {
+		return fmt.Errorf("%w: cluster %s is %s", ErrNotRunning, c.id, c.state)
+	}
+	return c.coord.SetBudget(watts)
+}
+
+// SetNodeCap reassigns one node's share directly, bypassing the policy
+// until the next epoch's rebalance.
+func (c *Cluster) SetNodeCap(i int, watts float64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.state == StateFailed {
+		return fmt.Errorf("%w: cluster %s is %s", ErrNotRunning, c.id, c.state)
+	}
+	if i < 0 || i >= c.coord.NodeCount() {
+		return fmt.Errorf("%w: cluster %s has no node %d", ErrNotFound, c.id, i)
+	}
+	return c.coord.SetNodeCap(i, watts)
+}
+
+// Status reports the cluster's current state. A failed cluster reports its
+// last coherent snapshot rather than touching the broken coordinator.
+func (c *Cluster) Status() ClusterStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sn := c.lastSnap
+	if c.state != StateFailed {
+		sn = c.coord.Snapshot()
+	}
+	st := ClusterStatus{
+		ID:              c.id,
+		Name:            c.cfg.Name,
+		State:           c.state,
+		Policy:          sn.Policy,
+		Epoch:           c.epoch.Load(),
+		SimS:            sn.Now.Seconds(),
+		BudgetWatts:     sn.Budget,
+		TotalPowerWatts: sn.TotalPower,
+		TotalPerfHBs:    sn.TotalRate,
+		Subscribers:     c.fan.Subscribers(),
+		FailReason:      c.failReason,
+	}
+	for i, ns := range sn.Nodes {
+		st.Nodes = append(st.Nodes, ClusterNodeStatus{
+			Index:          i,
+			Name:           ns.Name,
+			Technique:      c.nodeTech[i],
+			Workloads:      c.nodeApps[i],
+			CapWatts:       ns.CapWatts,
+			MeanPowerWatts: ns.MeanPower,
+			MeanRateHBs:    ns.MeanRate,
+		})
+	}
+	return st
+}
+
+// StepOnce advances a detached cluster one epoch synchronously and reports
+// whether it is still running — the deterministic entry point for tests and
+// the perf harness.
+func (c *Cluster) StepOnce() bool { return c.tick() }
+
+// tick steps one coordinator epoch and publishes the epoch sample. It
+// reports whether the loop should continue.
+func (c *Cluster) tick() bool {
+	smp, publish, cont := c.advance()
+	if publish {
+		c.fan.Publish(smp)
+	}
+	return cont
+}
+
+// advance runs one locked coordinator epoch. A panic escaping a node's
+// session or the policy marks this cluster failed — last coherent state
+// still queryable — instead of crashing the daemon.
+func (c *Cluster) advance() (smp ClusterSample, publish, cont bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	defer func() {
+		if r := recover(); r != nil {
+			c.state = StateFailed
+			c.failReason = fmt.Sprintf("cluster panic: %v", r)
+			log.Printf("server: cluster %s failed: %v\n%s", c.id, r, debug.Stack())
+			smp, publish, cont = ClusterSample{}, false, false
+		}
+	}()
+	if c.state != StateRunning {
+		return ClusterSample{}, false, false
+	}
+	if err := c.coord.Step(c.epochSim); err != nil {
+		c.state = StateFailed
+		c.failReason = fmt.Sprintf("cluster step: %v", err)
+		log.Printf("server: cluster %s failed: %v", c.id, err)
+		return ClusterSample{}, false, false
+	}
+	sn := c.coord.Snapshot()
+	c.lastSnap = sn
+	smp = ClusterSample{
+		Cluster:         c.id,
+		Epoch:           c.epoch.Add(1),
+		SimS:            sn.Now.Seconds(),
+		BudgetWatts:     sn.Budget,
+		CapsWatts:       make([]float64, len(sn.Nodes)),
+		NodePowerWatts:  make([]float64, len(sn.Nodes)),
+		TotalPowerWatts: sn.TotalPower,
+		TotalPerfHBs:    sn.TotalRate,
+	}
+	for i, ns := range sn.Nodes {
+		smp.CapsWatts[i] = ns.CapWatts
+		smp.NodePowerWatts[i] = ns.MeanPower
+	}
+	c.last = smp
+	if c.maxSim > 0 && sn.Now >= c.maxSim {
+		c.state = StateDone
+	}
+	return smp, true, c.state == StateRunning
+}
+
+// run is the cluster's epoch loop, paced like the node tick loop: each tick
+// steps one simulated epoch, every tickReal of real time (or back-to-back
+// when free-running).
+func (c *Cluster) run(ctx context.Context) {
+	defer close(c.done)
+	defer c.fan.Close()
+	var tickC <-chan time.Time
+	if c.tickReal > 0 {
+		t := time.NewTicker(c.tickReal)
+		defer t.Stop()
+		tickC = t.C
+	}
+	for {
+		if tickC != nil {
+			select {
+			case <-ctx.Done():
+				c.setState(StateStopped)
+				return
+			case <-tickC:
+			}
+		} else {
+			select {
+			case <-ctx.Done():
+				c.setState(StateStopped)
+				return
+			default:
+			}
+		}
+		if !c.tick() {
+			return
+		}
+	}
+}
+
+func (c *Cluster) setState(s State) {
+	c.mu.Lock()
+	if c.state == StateRunning {
+		c.state = s
+	}
+	c.mu.Unlock()
+}
+
+// CreateCluster builds a cluster from its configuration and starts its
+// epoch loop.
+func (m *Manager) CreateCluster(cfg ClusterConfig) (*Cluster, error) {
+	c, err := buildCluster(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, ErrClosed
+	}
+	m.nextClusterID++
+	c.id = fmt.Sprintf("c%d", m.nextClusterID)
+	ctx, cancel := context.WithCancel(m.ctx)
+	c.cancel = cancel
+	m.clusters[c.id] = c
+	m.clusterOrder = append(m.clusterOrder, c.id)
+	m.wg.Add(1)
+	m.mu.Unlock()
+
+	m.clustersCreated.Add(1)
+	go func() {
+		defer m.wg.Done()
+		c.run(ctx)
+	}()
+	return c, nil
+}
+
+// NewDetachedCluster builds a cluster whose epoch loop is not started:
+// callers step it synchronously with StepOnce. The perf harness benchmarks
+// the epoch path this way, without goroutine scheduling noise.
+func NewDetachedCluster(cfg ClusterConfig) (*Cluster, error) {
+	c, err := buildCluster(cfg)
+	if err != nil {
+		return nil, err
+	}
+	c.id = "detached"
+	return c, nil
+}
+
+// GetCluster looks a cluster up by ID.
+func (m *Manager) GetCluster(id string) (*Cluster, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.clusters[id]
+	return c, ok
+}
+
+// Clusters lists the live clusters in creation order.
+func (m *Manager) Clusters() []*Cluster {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Cluster, 0, len(m.clusterOrder))
+	for _, id := range m.clusterOrder {
+		out = append(out, m.clusters[id])
+	}
+	return out
+}
+
+// ClustersCreated and ClustersDeleted report lifetime counters for the
+// exporter.
+func (m *Manager) ClustersCreated() uint64 { return m.clustersCreated.Load() }
+
+// ClustersDeleted reports how many clusters have been torn down.
+func (m *Manager) ClustersDeleted() uint64 { return m.clustersDeleted.Load() }
+
+// DeleteCluster stops a cluster's epoch loop, waits for it to drain, and
+// removes it from the registry.
+func (m *Manager) DeleteCluster(id string) error {
+	m.mu.Lock()
+	c, ok := m.clusters[id]
+	if ok {
+		delete(m.clusters, id)
+		for i, v := range m.clusterOrder {
+			if v == id {
+				m.clusterOrder = append(m.clusterOrder[:i], m.clusterOrder[i+1:]...)
+				break
+			}
+		}
+	}
+	m.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	c.cancel()
+	<-c.done
+	m.clustersDeleted.Add(1)
+	return nil
+}
+
+// buildCluster turns a ClusterConfig into an unstarted Cluster: node specs
+// resolved through the same platform/technique/workload tables as single
+// nodes, the policy by name, and the coordinator validated.
+func buildCluster(cfg ClusterConfig) (*Cluster, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, fmt.Errorf("%w: cluster has no nodes", ErrBadConfig)
+	}
+	policy, err := cluster.PolicyByName(cfg.Policy)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
+	c := &Cluster{
+		cfg:      cfg,
+		epochSim: DefaultClusterEpochSim,
+		tickReal: DefaultClusterTickReal,
+		state:    StateRunning,
+		fan:      telemetry.NewFanout[ClusterSample](),
+		done:     make(chan struct{}),
+	}
+	if cfg.EpochSimMS > 0 {
+		c.epochSim = time.Duration(cfg.EpochSimMS) * time.Millisecond
+	}
+	if cfg.TickRealMS > 0 {
+		c.tickReal = time.Duration(cfg.TickRealMS) * time.Millisecond
+	}
+	if cfg.FreeRun {
+		c.tickReal = 0
+	}
+	if cfg.MaxSimS > 0 {
+		c.maxSim = time.Duration(cfg.MaxSimS * float64(time.Second))
+	}
+
+	specs := make([]cluster.NodeSpec, len(cfg.Nodes))
+	for i, nc := range cfg.Nodes {
+		plat, err := platformByName(nc.Platform)
+		if err != nil {
+			return nil, err
+		}
+		tech := nc.Technique
+		if tech == "" {
+			tech = "PUPiL"
+		}
+		// Validate the technique now so a bad name fails the create, not
+		// the coordinator's deferred constructor call.
+		if _, err := newController(tech, plat); err != nil {
+			return nil, err
+		}
+		wl, err := resolveWorkloads(NodeConfig{Mix: nc.Mix, Workloads: nc.Workloads}, plat)
+		if err != nil {
+			return nil, fmt.Errorf("cluster node %d: %w", i, err)
+		}
+		name := nc.Name
+		if name == "" {
+			name = fmt.Sprintf("node%d", i)
+		}
+		apps := make([]string, len(wl))
+		for j, s := range wl {
+			apps[j] = s.Profile.Name
+		}
+		c.nodeTech = append(c.nodeTech, tech)
+		c.nodeApps = append(c.nodeApps, apps)
+		specs[i] = cluster.NodeSpec{
+			Name:     name,
+			Platform: plat,
+			Specs:    wl,
+			NewController: func(p *machine.Platform) core.Controller {
+				ctrl, err := newController(tech, p)
+				if err != nil {
+					panic(err) // validated above; unreachable
+				}
+				return ctrl
+			},
+		}
+	}
+
+	coord, err := cluster.NewCoordinator(cluster.Config{
+		Nodes:       specs,
+		BudgetWatts: cfg.BudgetWatts,
+		Epoch:       c.epochSim,
+		Policy:      policy,
+		Seed:        cfg.Seed,
+		FloorWatts:  cfg.FloorWatts,
+		Parallel:    cfg.Parallel,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
+	c.coord = coord
+	c.lastSnap = coord.Snapshot()
+	return c, nil
+}

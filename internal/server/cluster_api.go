@@ -1,0 +1,178 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// The cluster API mirrors the node API one level up: create a cluster from
+// a node list + policy + budget, read its state, retune the global budget
+// or one node's share live, stream per-epoch snapshots as NDJSON, delete
+// it. Status-code mapping is identical (400 bad config/cap, 404 unknown
+// cluster or node index, 409 mutation on a finished cluster).
+
+func (s *Server) clusterRoutes() {
+	s.mux.HandleFunc("POST /v1/clusters", s.handleCreateCluster)
+	s.mux.HandleFunc("GET /v1/clusters", s.handleListClusters)
+	s.mux.HandleFunc("GET /v1/clusters/{id}", s.handleGetCluster)
+	s.mux.HandleFunc("PUT /v1/clusters/{id}/budget", s.handleSetBudget)
+	s.mux.HandleFunc("PUT /v1/clusters/{id}/nodes/{index}/cap", s.handleSetClusterNodeCap)
+	s.mux.HandleFunc("DELETE /v1/clusters/{id}", s.handleDeleteCluster)
+	s.mux.HandleFunc("GET /v1/clusters/{id}/stream", s.handleClusterStream)
+}
+
+func (s *Server) clusterOf(w http.ResponseWriter, r *http.Request) (*Cluster, bool) {
+	id := r.PathValue("id")
+	c, ok := s.mgr.GetCluster(id)
+	if !ok {
+		writeError(w, fmt.Errorf("%w: %s", ErrNotFound, id))
+		return nil, false
+	}
+	return c, true
+}
+
+func (s *Server) handleCreateCluster(w http.ResponseWriter, r *http.Request) {
+	var cfg ClusterConfig
+	if err := decodeStrict(r.Body, &cfg); err != nil {
+		writeError(w, fmt.Errorf("%w: %v", ErrBadConfig, err))
+		return
+	}
+	c, err := s.mgr.CreateCluster(cfg)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, c.Status())
+}
+
+func (s *Server) handleListClusters(w http.ResponseWriter, _ *http.Request) {
+	clusters := s.mgr.Clusters()
+	statuses := make([]ClusterStatus, len(clusters))
+	for i, c := range clusters {
+		statuses[i] = c.Status()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"clusters": statuses})
+}
+
+func (s *Server) handleGetCluster(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.clusterOf(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, c.Status())
+}
+
+func (s *Server) handleSetBudget(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.clusterOf(w, r)
+	if !ok {
+		return
+	}
+	var body struct {
+		BudgetWatts float64 `json:"budget_watts"`
+	}
+	if err := decodeStrict(r.Body, &body); err != nil {
+		writeError(w, fmt.Errorf("%w: %v", ErrBadConfig, err))
+		return
+	}
+	if err := c.SetBudget(body.BudgetWatts); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, c.Status())
+}
+
+func (s *Server) handleSetClusterNodeCap(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.clusterOf(w, r)
+	if !ok {
+		return
+	}
+	idx, err := strconv.Atoi(r.PathValue("index"))
+	if err != nil {
+		writeError(w, fmt.Errorf("%w: bad node index %q", ErrBadConfig, r.PathValue("index")))
+		return
+	}
+	var body struct {
+		CapWatts float64 `json:"cap_watts"`
+	}
+	if err := decodeStrict(r.Body, &body); err != nil {
+		writeError(w, fmt.Errorf("%w: %v", ErrBadConfig, err))
+		return
+	}
+	if err := c.SetNodeCap(idx, body.CapWatts); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, c.Status())
+}
+
+func (s *Server) handleDeleteCluster(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.mgr.DeleteCluster(id); err != nil {
+		writeError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleClusterStream pushes per-epoch cluster samples as newline-delimited
+// JSON until the client disconnects, the cluster stops, or ?max=N samples
+// have been sent; ?buffer=N sizes the subscriber's ring (default 64), with
+// overflow reported per-record in dropped — the same contract as the node
+// stream.
+func (s *Server) handleClusterStream(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.clusterOf(w, r)
+	if !ok {
+		return
+	}
+	buffer := 64
+	if v := r.URL.Query().Get("buffer"); v != "" {
+		b, err := strconv.Atoi(v)
+		if err != nil || b < 1 {
+			writeError(w, fmt.Errorf("%w: bad buffer %q", ErrBadConfig, v))
+			return
+		}
+		buffer = b
+	}
+	max := 0
+	if v := r.URL.Query().Get("max"); v != "" {
+		mx, err := strconv.Atoi(v)
+		if err != nil || mx < 1 {
+			writeError(w, fmt.Errorf("%w: bad max %q", ErrBadConfig, v))
+			return
+		}
+		max = mx
+	}
+
+	sub := c.Subscribe(buffer)
+	defer sub.Cancel()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	sent := 0
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case smp, open := <-sub.C():
+			if !open {
+				return
+			}
+			smp.Dropped = sub.Dropped()
+			if err := enc.Encode(smp); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			sent++
+			if max > 0 && sent >= max {
+				return
+			}
+		}
+	}
+}

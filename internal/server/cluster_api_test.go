@@ -1,0 +1,336 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// clusterBody is a 2-node free-running cluster create request used across
+// the API tests.
+const clusterBody = `{
+	"name": "rack-1",
+	"policy": "demand-shift",
+	"budget_watts": 300,
+	"free_run": true,
+	"seed": 7,
+	"nodes": [
+		{"name": "heavy", "technique": "RAPL", "workloads": [{"benchmark": "blackscholes", "threads": 32}]},
+		{"name": "light", "technique": "RAPL", "workloads": [{"benchmark": "STREAM", "threads": 8}]}
+	]
+}`
+
+// The acceptance scenario for the cluster serving layer: create a cluster
+// over REST, stream its epoch snapshots, retune the global budget and one
+// node's share mid-run, watch both land in the stream and the exporter,
+// then delete it.
+func TestClusterEndToEnd(t *testing.T) {
+	mgr, ts := testClient(t)
+
+	resp, created := doJSON(t, "POST", ts.URL+"/v1/clusters", clusterBody)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: status %d body %v", resp.StatusCode, created)
+	}
+	id, _ := created["id"].(string)
+	if id == "" {
+		t.Fatalf("create returned no id: %v", created)
+	}
+	if created["state"] != string(StateRunning) {
+		t.Errorf("created cluster state = %v", created["state"])
+	}
+	if created["policy"] != "demand-shift" {
+		t.Errorf("created cluster policy = %v", created["policy"])
+	}
+	nodes, _ := created["nodes"].([]any)
+	if len(nodes) != 2 {
+		t.Fatalf("created cluster has %d nodes, want 2: %v", len(nodes), created)
+	}
+
+	// Stream epoch snapshots; after a few epochs, shrink the budget and
+	// pin the light node's share, and watch the stream pick both up.
+	stream, err := http.Get(ts.URL + "/v1/clusters/" + id + "/stream?buffer=256")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Body.Close()
+	if ct := stream.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("stream content type %q", ct)
+	}
+	sc := bufio.NewScanner(stream.Body)
+	var budgetSeen, pinSeen bool
+	for i := 0; i < 4000 && sc.Scan(); i++ {
+		var smp ClusterSample
+		if err := json.Unmarshal(sc.Bytes(), &smp); err != nil {
+			t.Fatalf("bad stream line %q: %v", sc.Text(), err)
+		}
+		if smp.Cluster != id || smp.SimS <= 0 {
+			t.Fatalf("malformed sample %+v", smp)
+		}
+		if len(smp.CapsWatts) != 2 || len(smp.NodePowerWatts) != 2 {
+			t.Fatalf("sample missing per-node vectors: %+v", smp)
+		}
+		// After every rebalance the assignment must sum to the budget.
+		sum := smp.CapsWatts[0] + smp.CapsWatts[1]
+		if math.Abs(sum-smp.BudgetWatts) > 1e-6 {
+			t.Fatalf("epoch %d caps %v sum to %.4f, want budget %.1f",
+				smp.Epoch, smp.CapsWatts, sum, smp.BudgetWatts)
+		}
+		if !budgetSeen && smp.Epoch >= 3 {
+			r, body := doJSON(t, "PUT", ts.URL+"/v1/clusters/"+id+"/budget", `{"budget_watts": 240}`)
+			if r.StatusCode != http.StatusOK {
+				t.Fatalf("set budget: status %d body %v", r.StatusCode, body)
+			}
+			budgetSeen = true
+			continue
+		}
+		if budgetSeen && !pinSeen && smp.BudgetWatts == 240 {
+			r, body := doJSON(t, "PUT", ts.URL+"/v1/clusters/"+id+"/nodes/1/cap", `{"cap_watts": 60}`)
+			if r.StatusCode != http.StatusOK {
+				t.Fatalf("set node cap: status %d body %v", r.StatusCode, body)
+			}
+			caps, _ := body["nodes"].([]any)
+			if len(caps) != 2 {
+				t.Fatalf("node-cap response missing nodes: %v", body)
+			}
+			pinSeen = true
+			continue
+		}
+		if pinSeen && smp.BudgetWatts == 240 {
+			break
+		}
+	}
+	if !budgetSeen || !pinSeen {
+		t.Fatalf("stream never reached the mutation points (budget %v, pin %v)", budgetSeen, pinSeen)
+	}
+
+	// The exporter reports the cluster families.
+	metricsResp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer metricsResp.Body.Close()
+	var sb strings.Builder
+	if _, err := bufio.NewReader(metricsResp.Body).WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	metrics := sb.String()
+	for _, want := range []string{
+		`pupil_cluster_budget_watts{cluster="` + id + `"} 240`,
+		`pupil_cluster_nodes{cluster="` + id + `"} 2`,
+		`pupil_cluster_node_cap_watts{cluster="` + id + `",node="heavy"}`,
+		`pupil_cluster_node_cap_watts{cluster="` + id + `",node="light"}`,
+		"pupil_cluster_epochs_total",
+		"pupil_clusters 1",
+		"pupil_clusters_created_total 1",
+		"pupil_clusters_failed 0",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("exporter missing %q", want)
+		}
+	}
+
+	// GET reflects the live state.
+	resp, got := doJSON(t, "GET", ts.URL+"/v1/clusters/"+id, "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("get: status %d", resp.StatusCode)
+	}
+	if got["budget_watts"].(float64) != 240 {
+		t.Errorf("get budget = %v, want 240", got["budget_watts"])
+	}
+
+	// Delete drains the epoch loop and closes the stream.
+	req, _ := http.NewRequest("DELETE", ts.URL+"/v1/clusters/"+id, nil)
+	delResp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delResp.Body.Close()
+	if delResp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete: status %d", delResp.StatusCode)
+	}
+	if mgr.ClustersDeleted() != 1 {
+		t.Errorf("ClustersDeleted = %d, want 1", mgr.ClustersDeleted())
+	}
+	resp, _ = doJSON(t, "GET", ts.URL+"/v1/clusters/"+id, "")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("get after delete: status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestClusterAPIErrors(t *testing.T) {
+	_, ts := testClient(t)
+
+	cases := []struct {
+		name, method, path, body string
+		want                     int
+	}{
+		{"no nodes", "POST", "/v1/clusters", `{"budget_watts":300,"nodes":[]}`, 400},
+		{"bad policy", "POST", "/v1/clusters", `{"budget_watts":300,"policy":"fastest","nodes":[{"workloads":[{"benchmark":"x264"}]}]}`, 400},
+		{"bad technique", "POST", "/v1/clusters", `{"budget_watts":300,"nodes":[{"technique":"nope","workloads":[{"benchmark":"x264"}]}]}`, 400},
+		{"bad benchmark", "POST", "/v1/clusters", `{"budget_watts":300,"nodes":[{"workloads":[{"benchmark":"nope"}]}]}`, 400},
+		{"budget below floor", "POST", "/v1/clusters", `{"budget_watts":30,"nodes":[{"workloads":[{"benchmark":"x264"}]},{"workloads":[{"benchmark":"STREAM"}]}]}`, 400},
+		{"unknown field", "POST", "/v1/clusters", `{"budget_watts":300,"bogus":1,"nodes":[{"workloads":[{"benchmark":"x264"}]}]}`, 400},
+		{"trailing junk", "POST", "/v1/clusters", `{"budget_watts":300,"nodes":[{"workloads":[{"benchmark":"x264"}]}]}{}`, 400},
+		{"get unknown", "GET", "/v1/clusters/c99", "", 404},
+		{"budget unknown cluster", "PUT", "/v1/clusters/c99/budget", `{"budget_watts":200}`, 404},
+		{"cap unknown cluster", "PUT", "/v1/clusters/c99/nodes/0/cap", `{"cap_watts":100}`, 404},
+		{"delete unknown", "DELETE", "/v1/clusters/c99", "", 404},
+		{"stream unknown", "GET", "/v1/clusters/c99/stream", "", 404},
+	}
+	for _, tc := range cases {
+		resp, body := doJSON(t, tc.method, ts.URL+tc.path, tc.body)
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status %d, want %d (body %v)", tc.name, resp.StatusCode, tc.want, body)
+		}
+	}
+
+	// Mutations against a live cluster: invalid values and bad indices.
+	resp, created := doJSON(t, "POST", ts.URL+"/v1/clusters", clusterBody)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: status %d body %v", resp.StatusCode, created)
+	}
+	id := created["id"].(string)
+	live := []struct {
+		name, path, body string
+		want             int
+	}{
+		{"negative budget", "/v1/clusters/" + id + "/budget", `{"budget_watts":-5}`, 400},
+		{"budget under floor", "/v1/clusters/" + id + "/budget", `{"budget_watts":10}`, 400},
+		{"budget junk", "/v1/clusters/" + id + "/budget", `{"budget_watts":"lots"}`, 400},
+		{"cap below floor", "/v1/clusters/" + id + "/nodes/0/cap", `{"cap_watts":1}`, 400},
+		{"cap bad index", "/v1/clusters/" + id + "/nodes/7/cap", `{"cap_watts":100}`, 404},
+		{"cap non-numeric index", "/v1/clusters/" + id + "/nodes/one/cap", `{"cap_watts":100}`, 400},
+	}
+	for _, tc := range live {
+		resp, body := doJSON(t, "PUT", ts.URL+tc.path, tc.body)
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status %d, want %d (body %v)", tc.name, resp.StatusCode, tc.want, body)
+		}
+	}
+}
+
+// A cluster with MaxSimS set steps to its horizon, transitions to done, and
+// closes its streams — and mutations on the finished cluster still work
+// against the coordinator (it is queryable, not broken).
+func TestClusterMaxSim(t *testing.T) {
+	mgr := NewManager()
+	defer mgr.Close()
+	c, err := mgr.CreateCluster(ClusterConfig{
+		BudgetWatts: 200,
+		FreeRun:     true,
+		MaxSimS:     3,
+		Seed:        1,
+		Nodes: []ClusterNodeConfig{
+			{Technique: "RAPL", Workloads: []WorkloadConfig{{Benchmark: "kmeans", Threads: 8}}},
+			{Technique: "RAPL", Workloads: []WorkloadConfig{{Benchmark: "STREAM", Threads: 8}}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-c.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatal("cluster never reached MaxSimS")
+	}
+	st := c.Status()
+	if st.State != StateDone {
+		t.Fatalf("state = %s, want done", st.State)
+	}
+	if st.SimS < 3 {
+		t.Errorf("sim_s = %.2f, want >= 3", st.SimS)
+	}
+	if st.Epoch == 0 {
+		t.Error("no epochs recorded")
+	}
+}
+
+// A panicking controller inside one cluster marks that cluster failed with
+// its last coherent state queryable, and leaves the rest of the manager
+// alive — the serving layer's isolation contract.
+func TestClusterPanicIsolation(t *testing.T) {
+	mgr := NewManager()
+	defer mgr.Close()
+
+	c, err := NewDetachedCluster(ClusterConfig{
+		BudgetWatts: 200,
+		Seed:        1,
+		Nodes: []ClusterNodeConfig{
+			{Technique: "RAPL", Workloads: []WorkloadConfig{{Benchmark: "kmeans", Threads: 8}}},
+			{Technique: "RAPL", Workloads: []WorkloadConfig{{Benchmark: "STREAM", Threads: 8}}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.StepOnce() {
+		t.Fatal("first epoch did not advance")
+	}
+	// Break the coordinator's policy mid-flight: the next epoch panics,
+	// the cluster isolates as failed, and status still serves.
+	c.coord = nil
+	if c.StepOnce() {
+		t.Fatal("epoch on a broken coordinator reported success")
+	}
+	st := c.Status()
+	if st.State != StateFailed {
+		t.Fatalf("state = %s, want failed", st.State)
+	}
+	if st.FailReason == "" {
+		t.Error("failed cluster carries no reason")
+	}
+	if st.SimS <= 0 {
+		t.Error("failed cluster lost its last coherent snapshot")
+	}
+	if err := c.SetBudget(100); err == nil {
+		t.Error("SetBudget on a failed cluster succeeded")
+	}
+
+	// The rest of the manager keeps serving.
+	n, err := mgr.Create(NodeConfig{
+		Technique: "RAPL", CapWatts: 140, FreeRun: true,
+		Workloads: []WorkloadConfig{{Benchmark: "kmeans", Threads: 8}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Status().State != StateRunning {
+		t.Error("node created after cluster failure is not running")
+	}
+}
+
+// Detached clusters step deterministically: the serving layer's epoch path
+// produces the same trajectory as a raw coordinator configured identically.
+func TestDetachedClusterDeterminism(t *testing.T) {
+	mk := func() *Cluster {
+		c, err := NewDetachedCluster(ClusterConfig{
+			BudgetWatts: 300,
+			Policy:      "proportional",
+			Seed:        5,
+			Parallel:    4,
+			Nodes: []ClusterNodeConfig{
+				{Technique: "RAPL", Workloads: []WorkloadConfig{{Benchmark: "blackscholes", Threads: 32}}},
+				{Technique: "RAPL", Workloads: []WorkloadConfig{{Benchmark: "STREAM", Threads: 8}}},
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 5; i++ {
+		if !a.StepOnce() || !b.StepOnce() {
+			t.Fatal("cluster stopped early")
+		}
+	}
+	sa, _ := json.Marshal(a.Status())
+	sb, _ := json.Marshal(b.Status())
+	if string(sa) != string(sb) {
+		t.Fatalf("identical detached clusters diverged:\n%s\n%s", sa, sb)
+	}
+}

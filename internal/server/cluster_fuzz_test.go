@@ -1,0 +1,163 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// The cluster decoders extend the fuzzed attack surface of fuzz_test.go:
+// create (nested node list), budget, and per-node cap bodies all flow
+// through decodeStrict and the same writeError mapping, so the contract is
+// identical — no panic, malformed bodies are exactly 400 with a JSON error
+// body, and nothing outside the documented status set escapes.
+
+func FuzzCreateClusterDecoder(f *testing.F) {
+	mgr := NewManager()
+	f.Cleanup(func() { mgr.Close() })
+	h := New(mgr).Handler()
+
+	seeds := []string{
+		`{"budget_watts":300,"policy":"demand-shift","nodes":[{"technique":"RAPL","workloads":[{"benchmark":"blackscholes","threads":32}]},{"workloads":[{"benchmark":"STREAM","threads":8}]}]}`,
+		`{"budget_watts":400,"policy":"proportional","seed":7,"parallel":4,"nodes":[{"mix":"mix7"},{"mix":"mix8"}]}`,
+		`{"budget_watts":200,"nodes":[{"platform":"mobile","workloads":[{"benchmark":"kmeans"}]}]}`,
+		`{"budget_watts":300,"nodes":[]}`,
+		`{"budget_watts":300,"policy":"fastest","nodes":[{"workloads":[{"benchmark":"x264"}]}]}`,
+		`{"budget_watts":300,"nodes":[{"technique":"nope","workloads":[{"benchmark":"x264"}]}]}`,
+		`{"budget_watts":30,"nodes":[{"workloads":[{"benchmark":"x264"}]},{"workloads":[{"benchmark":"STREAM"}]}]}`,
+		`{"budget_watts":-1,"nodes":[{"workloads":[{"benchmark":"x264"}]}]}`,
+		`{"budget_watts":300,"bogus":1,"nodes":[{"workloads":[{"benchmark":"x264"}]}]}`,
+		`{"budget_watts":300,"nodes":[{"workloads":[{"benchmark":"x264"}]}]}{}`,
+		`{"nodes":`,
+		``,
+		`null`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	f.Fuzz(func(t *testing.T, body string) {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodPost, "/v1/clusters", strings.NewReader(body))
+		h.ServeHTTP(rec, req)
+		switch rec.Code {
+		case http.StatusCreated:
+			// A fuzzed body that forms a valid config really starts a
+			// cluster; tear it down so the manager stays bounded.
+			var st ClusterStatus
+			if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil || st.ID == "" {
+				t.Fatalf("201 with undecodable status body %q", rec.Body.String())
+			}
+			if err := mgr.DeleteCluster(st.ID); err != nil {
+				t.Fatalf("deleting fuzz-created cluster %s: %v", st.ID, err)
+			}
+		case http.StatusBadRequest:
+			mustErrorBody(t, rec)
+		default:
+			t.Fatalf("create cluster: status %d for body %q", rec.Code, body)
+		}
+		if !json.Valid([]byte(body)) && rec.Code != http.StatusBadRequest {
+			t.Fatalf("create cluster: invalid JSON %q got status %d, want 400", body, rec.Code)
+		}
+	})
+}
+
+// fuzzCluster creates one nearly-idle 2-node cluster (hour-long wall ticks)
+// shared by all executions of a mutation fuzz target.
+func fuzzCluster(f *testing.F, mgr *Manager) *Cluster {
+	c, err := mgr.CreateCluster(ClusterConfig{
+		BudgetWatts: 300,
+		TickRealMS:  3_600_000,
+		Seed:        1,
+		Nodes: []ClusterNodeConfig{
+			{Technique: "RAPL", Workloads: []WorkloadConfig{{Benchmark: "blackscholes", Threads: 32}}},
+			{Technique: "RAPL", Workloads: []WorkloadConfig{{Benchmark: "STREAM", Threads: 8}}},
+		},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	return c
+}
+
+func FuzzClusterBudgetDecoder(f *testing.F) {
+	mgr := NewManager()
+	f.Cleanup(func() { mgr.Close() })
+	h := New(mgr).Handler()
+	c := fuzzCluster(f, mgr)
+
+	seeds := []string{
+		`{"budget_watts":240}`,
+		`{"budget_watts":0}`,
+		`{"budget_watts":-40}`,
+		`{"budget_watts":10}`,
+		`{"budget_watts":1e308}`,
+		`{"budget_watts":"300"}`,
+		`{"watts":300}`,
+		`{"budget_watts":300,"extra":true}`,
+		`{`,
+		``,
+		`null`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	f.Fuzz(func(t *testing.T, body string) {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodPut, "/v1/clusters/"+c.ID()+"/budget", strings.NewReader(body))
+		h.ServeHTTP(rec, req)
+		switch rec.Code {
+		case http.StatusOK:
+		case http.StatusBadRequest:
+			mustErrorBody(t, rec)
+		default:
+			t.Fatalf("set budget: status %d for body %q", rec.Code, body)
+		}
+		if !json.Valid([]byte(body)) && rec.Code != http.StatusBadRequest {
+			t.Fatalf("set budget: invalid JSON %q got status %d, want 400", body, rec.Code)
+		}
+	})
+}
+
+func FuzzClusterNodeCapDecoder(f *testing.F) {
+	mgr := NewManager()
+	f.Cleanup(func() { mgr.Close() })
+	h := New(mgr).Handler()
+	c := fuzzCluster(f, mgr)
+
+	seeds := []string{
+		`{"cap_watts":120}`,
+		`{"cap_watts":0}`,
+		`{"cap_watts":-40}`,
+		`{"cap_watts":5}`,
+		`{"cap_watts":1e308}`,
+		`{"cap_watts":"140"}`,
+		`{"watts":140}`,
+		`{"cap_watts":140,"extra":true}`,
+		`{`,
+		``,
+		`null`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	f.Fuzz(func(t *testing.T, body string) {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodPut, "/v1/clusters/"+c.ID()+"/nodes/0/cap", strings.NewReader(body))
+		h.ServeHTTP(rec, req)
+		switch rec.Code {
+		case http.StatusOK:
+		case http.StatusBadRequest:
+			mustErrorBody(t, rec)
+		default:
+			t.Fatalf("set node cap: status %d for body %q", rec.Code, body)
+		}
+		if !json.Valid([]byte(body)) && rec.Code != http.StatusBadRequest {
+			t.Fatalf("set node cap: invalid JSON %q got status %d, want 400", body, rec.Code)
+		}
+	})
+}

@@ -458,18 +458,32 @@ type Manager struct {
 	nextID int
 	closed bool
 
+	// Clusters live beside nodes under the same lifecycle: one supervised
+	// goroutine per live cluster, drained by the same Close.
+	clusters      map[string]*Cluster
+	clusterOrder  []string
+	nextClusterID int
+
 	ctx    context.Context
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
 
 	created atomic.Uint64
 	deleted atomic.Uint64
+
+	clustersCreated atomic.Uint64
+	clustersDeleted atomic.Uint64
 }
 
 // NewManager returns an empty manager ready to create nodes.
 func NewManager() *Manager {
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Manager{nodes: make(map[string]*Node), ctx: ctx, cancel: cancel}
+	return &Manager{
+		nodes:    make(map[string]*Node),
+		clusters: make(map[string]*Cluster),
+		ctx:      ctx,
+		cancel:   cancel,
+	}
 }
 
 // Create builds a node from its configuration and starts its tick loop.

@@ -78,5 +78,60 @@ func (s *Server) writeMetrics(w io.Writer) {
 	fmt.Fprintf(w, "# HELP pupil_nodes Live simulated nodes.\n# TYPE pupil_nodes gauge\npupil_nodes %d\n", len(statuses))
 	fmt.Fprintf(w, "# HELP pupil_nodes_created_total Nodes created since server start.\n# TYPE pupil_nodes_created_total counter\npupil_nodes_created_total %d\n", s.mgr.Created())
 	fmt.Fprintf(w, "# HELP pupil_nodes_deleted_total Nodes deleted since server start.\n# TYPE pupil_nodes_deleted_total counter\npupil_nodes_deleted_total %d\n", s.mgr.Deleted())
+
+	s.writeClusterMetrics(w)
+
 	fmt.Fprintf(w, "# HELP pupil_http_requests_total HTTP requests served.\n# TYPE pupil_http_requests_total counter\npupil_http_requests_total %d\n", s.requests.Load())
+}
+
+// writeClusterMetrics renders the pupil_cluster_* families: one sample per
+// cluster labeled cluster="<id>", plus per-node cap shares labeled
+// cluster/node, from live ClusterStatus snapshots at scrape time.
+func (s *Server) writeClusterMetrics(w io.Writer) {
+	clusters := s.mgr.Clusters()
+	statuses := make([]ClusterStatus, len(clusters))
+	for i, c := range clusters {
+		statuses[i] = c.Status()
+	}
+
+	gauge := func(name, help string, value func(ClusterStatus) float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+		for _, st := range statuses {
+			fmt.Fprintf(w, "%s{cluster=%q} %g\n", name, st.ID, value(st))
+		}
+	}
+	gauge("pupil_cluster_budget_watts", "Global power budget the cluster coordinator partitions, in Watts.",
+		func(st ClusterStatus) float64 { return st.BudgetWatts })
+	gauge("pupil_cluster_power_watts", "Cluster-wide mean power over the trailing epoch in Watts.",
+		func(st ClusterStatus) float64 { return st.TotalPowerWatts })
+	gauge("pupil_cluster_perf_hbs", "Cluster-wide work rate over the trailing epoch in heartbeats per second.",
+		func(st ClusterStatus) float64 { return st.TotalPerfHBs })
+	gauge("pupil_cluster_nodes", "Nodes in the cluster.",
+		func(st ClusterStatus) float64 { return float64(len(st.Nodes)) })
+	gauge("pupil_cluster_sim_seconds", "Simulated time the cluster has advanced, in seconds.",
+		func(st ClusterStatus) float64 { return st.SimS })
+	gauge("pupil_cluster_stream_subscribers", "Live epoch-stream subscribers on the cluster.",
+		func(st ClusterStatus) float64 { return float64(st.Subscribers) })
+
+	fmt.Fprintf(w, "# HELP pupil_cluster_node_cap_watts Budget share currently assigned to one cluster node, in Watts.\n# TYPE pupil_cluster_node_cap_watts gauge\n")
+	for _, st := range statuses {
+		for _, n := range st.Nodes {
+			fmt.Fprintf(w, "pupil_cluster_node_cap_watts{cluster=%q,node=%q} %g\n", st.ID, n.Name, n.CapWatts)
+		}
+	}
+	fmt.Fprintf(w, "# HELP pupil_cluster_epochs_total Coordinator epochs the cluster has stepped.\n# TYPE pupil_cluster_epochs_total counter\n")
+	for _, st := range statuses {
+		fmt.Fprintf(w, "pupil_cluster_epochs_total{cluster=%q} %d\n", st.ID, st.Epoch)
+	}
+
+	failed := 0
+	for _, st := range statuses {
+		if st.State == StateFailed {
+			failed++
+		}
+	}
+	fmt.Fprintf(w, "# HELP pupil_clusters_failed Clusters whose coordinators panicked and were isolated.\n# TYPE pupil_clusters_failed gauge\npupil_clusters_failed %d\n", failed)
+	fmt.Fprintf(w, "# HELP pupil_clusters Live clusters.\n# TYPE pupil_clusters gauge\npupil_clusters %d\n", len(statuses))
+	fmt.Fprintf(w, "# HELP pupil_clusters_created_total Clusters created since server start.\n# TYPE pupil_clusters_created_total counter\npupil_clusters_created_total %d\n", s.mgr.ClustersCreated())
+	fmt.Fprintf(w, "# HELP pupil_clusters_deleted_total Clusters deleted since server start.\n# TYPE pupil_clusters_deleted_total counter\npupil_clusters_deleted_total %d\n", s.mgr.ClustersDeleted())
 }

@@ -51,6 +51,7 @@ func New(mgr *Manager) *Server {
 	s.mux.HandleFunc("GET /v1/nodes/{id}/stream", s.handleStream)
 	s.mux.HandleFunc("POST /v1/nodes/{id}/faults", s.handleInjectFault)
 	s.mux.HandleFunc("GET /v1/nodes/{id}/faults", s.handleFaults)
+	s.clusterRoutes()
 	return s
 }
 
