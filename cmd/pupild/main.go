@@ -30,15 +30,37 @@ import (
 	"syscall"
 	"time"
 
+	"pupil/internal/pipeline"
 	"pupil/internal/server"
 )
+
+// attachFileSink opens path and registers a pipeline sink built by mk over
+// it, so every node's and cluster's per-tick samples land in the file.
+// The router flushes and closes the sink (and the file) on manager close.
+func attachFileSink(mgr *server.Manager, name, path string, mk func(*os.File) pipeline.Sink) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatalf("pupild: %s sink: %v", name, err)
+	}
+	if err := mgr.AddSink(name, mk(f)); err != nil {
+		log.Fatalf("pupild: %s sink: %v", name, err)
+	}
+}
 
 func main() {
 	addr := flag.String("addr", ":9500", "listen address")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
+	ndjsonPath := flag.String("telemetry-ndjson", "", "append every telemetry sample to this file as NDJSON")
+	csvPath := flag.String("telemetry-csv", "", "append every telemetry sample to this file as CSV")
 	flag.Parse()
 
 	mgr := server.NewManager()
+	if *ndjsonPath != "" {
+		attachFileSink(mgr, "ndjson", *ndjsonPath, func(f *os.File) pipeline.Sink { return pipeline.NewNDJSON(f) })
+	}
+	if *csvPath != "" {
+		attachFileSink(mgr, "csv", *csvPath, func(f *os.File) pipeline.Sink { return pipeline.NewCSV(f) })
+	}
 	// Connection timeouts guard the daemon against stalled or malicious
 	// peers. No WriteTimeout: telemetry streams are legitimately unbounded
 	// (they end when the node stops or the client goes away).

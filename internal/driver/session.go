@@ -128,6 +128,30 @@ func (s *Session) Rates() []float64 {
 	return append([]float64(nil), s.w.eval.Rates...)
 }
 
+// ZonePower is one RAPL-style power zone reading: the package total for a
+// socket, or one of its core/dram components. Zone names follow the RAPL
+// sysfs taxonomy: "package_0", "package_0_core", "package_0_dram".
+type ZonePower struct {
+	// Zone is the zone label.
+	Zone string `json:"zone"`
+	// PowerWatts is the zone's modeled power draw.
+	PowerWatts float64 `json:"power_watts"`
+	// CapWatts is the RAPL cap programmed for the zone (package zones
+	// only; zero when uncapped or not applicable to the subzone).
+	CapWatts float64 `json:"cap_watts,omitempty"`
+}
+
+// ZonePowers appends the node's current per-socket zone readings to buf
+// and returns the extended slice: for each socket, the package total
+// (carrying the firmware's programmed cap), then the core and dram
+// components. Components sum to the package total.
+func (s *Session) ZonePowers(buf []ZonePower) []ZonePower {
+	if s.w.evalStale {
+		s.w.refresh(s.Now())
+	}
+	return s.w.zonePowers(buf)
+}
+
 // MeanPower returns the node's mean true power over the trailing window.
 func (s *Session) MeanPower(window time.Duration) float64 {
 	from := s.Now() - window
@@ -169,6 +193,9 @@ type Snapshot struct {
 	EnergyJ float64
 	// Apps names the running applications, in launch order.
 	Apps []string
+	// Zones are the per-socket RAPL-style zone readings (package total
+	// with its programmed cap, then core and dram components).
+	Zones []ZonePower
 	// BreachSeconds is the running time spent above cap*1.03.
 	BreachSeconds float64
 	// FaultsActive counts fault scenarios currently in effect.
@@ -205,6 +232,7 @@ func (s *Session) Snapshot() Snapshot {
 		Config:        s.w.active.Clone(),
 		EnergyJ:       s.w.energyJ,
 		Apps:          apps,
+		Zones:         s.w.zonePowers(make([]ZonePower, 0, 3*s.w.plat.Sockets)),
 		BreachSeconds: s.BreachSeconds(),
 		FaultsActive:  s.FaultsActive(),
 		DegradeLevel:  s.DegradeLevel().String(),

@@ -46,9 +46,15 @@ type world struct {
 
 	evaluator *system.Evaluator
 	eval      system.Eval
+	evalCfg   machine.Config // configuration the current eval was computed under
 	evalStale bool
 	lastEval  time.Duration
 	energyJ   float64
+
+	// zoneNames are the per-socket RAPL-style zone labels (package_<s>,
+	// package_<s>_core, package_<s>_dram), precomputed so the zone report
+	// on the serving hot path never formats strings.
+	zoneNames [][3]string
 
 	// Thermal state (when the platform models it): per-socket junction
 	// temperature and whether the package protection is throttling.
@@ -121,6 +127,11 @@ func newWorld(s Scenario, apps []*workload.Instance, rng *sim.RNG) *world {
 		rawFeedback: s.RawFeedback,
 	}
 	w.evaluator = system.NewEvaluator(s.Platform, apps)
+	w.evalCfg = w.active
+	for sock := 0; sock < s.Platform.Sockets; sock++ {
+		pkg := "package_" + itoa(sock)
+		w.zoneNames = append(w.zoneNames, [3]string{pkg, pkg + "_core", pkg + "_dram"})
+	}
 	for i := range apps {
 		w.rateTrace = append(w.rateTrace, sim.NewSeries(apps[i].Profile.Name))
 		// Applications report progress through the heartbeat interface
@@ -247,8 +258,40 @@ func (w *world) refresh(now time.Duration) {
 		}
 	}
 	w.eval = w.evaluator.Eval(cfg, now)
+	w.evalCfg = cfg
 	w.evalStale = false
 	w.lastEval = now
+}
+
+// zonePowers appends the node's current RAPL-style zone readings to buf:
+// per socket, the package total (with the firmware's programmed cap),
+// then the core and dram components. The eval must be fresh.
+func (w *world) zonePowers(buf []ZonePower) []ZonePower {
+	for s := 0; s < w.plat.Sockets; s++ {
+		var load machine.SocketLoad
+		if s < len(w.eval.Loads) {
+			load = w.eval.Loads[s]
+		}
+		bd := w.plat.SocketPowerBreakdown(w.evalCfg, s, load)
+		capW := 0.0
+		if s < len(w.firmwares) {
+			capW = w.firmwares[s].Cap()
+		}
+		buf = append(buf,
+			ZonePower{Zone: w.zoneNames[s][0], PowerWatts: bd.TotalW, CapWatts: capW},
+			ZonePower{Zone: w.zoneNames[s][1], PowerWatts: bd.CoreW},
+			ZonePower{Zone: w.zoneNames[s][2], PowerWatts: bd.DramW})
+	}
+	return buf
+}
+
+// itoa is strconv.Itoa for the small non-negative ints of socket labels,
+// kept local so world.go's construction path stays dependency-light.
+func itoa(n int) string {
+	if n < 10 {
+		return string(rune('0' + n))
+	}
+	return itoa(n/10) + string(rune('0'+n%10))
 }
 
 // stepThermal integrates the per-socket RC junction model and drives the

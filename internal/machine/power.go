@@ -63,6 +63,66 @@ func (p *Platform) SocketPower(c Config, s int, load SocketLoad) float64 {
 	return w
 }
 
+// PowerBreakdown splits one socket's modeled power into RAPL-style zones.
+// TotalW always equals SocketPower for the same arguments, bit for bit;
+// the components sum to it (scaled proportionally when the TDP clamp
+// engages).
+type PowerBreakdown struct {
+	// TotalW is the socket's power — the package zone.
+	TotalW float64
+	// CoreW is the core zone: busy-core dynamic power plus idle-core
+	// leakage. Zero on a parked socket.
+	CoreW float64
+	// DramW is the dram zone: the memory controller's static and
+	// bandwidth-proportional power, when the controller is in use.
+	DramW float64
+	// UncoreW is the remainder: the active uncore, or the parked-socket
+	// floor.
+	UncoreW float64
+}
+
+// SocketPowerBreakdown reports socket s's power split into package, core,
+// and dram zones. The total is computed by SocketPower itself — the
+// arithmetic order the golden files pin — and the component terms mirror
+// its construction, rescaled to the clamped total when the socket hits
+// its TDP.
+func (p *Platform) SocketPowerBreakdown(c Config, s int, load SocketLoad) PowerBreakdown {
+	var b PowerBreakdown
+	b.TotalW = p.SocketPower(c, s, load)
+	if s >= c.Sockets {
+		b.UncoreW = p.SocketParked
+		if s < c.MemCtls {
+			util := clampF(load.BWGBs/p.BWPerCtlGBs, 0, 1)
+			b.DramW = p.MemCtlIdle + util*p.MemCtlDyn
+		}
+	} else {
+		f := c.EffectiveGHz(p, s)
+		busy := clampF(load.BusyCores, 0, float64(c.Cores))
+		idle := float64(c.Cores) - busy
+		dyn := p.CoreDynPower(f)
+		if c.HT {
+			dyn *= 1 + (p.HTPowerFactor-1)*clampF(load.HTShare, 0, 1)
+		}
+		stall := clampF(load.StallFrac, 0, 1)
+		dyn *= (1 - stall) + stall*p.StallPowerFactor
+		b.UncoreW = p.UncoreActive
+		b.CoreW = busy*dyn + idle*p.CoreIdle
+		if s < c.MemCtls {
+			util := clampF(load.BWGBs/p.BWPerCtlGBs, 0, 1)
+			b.DramW = p.MemCtlIdle + util*p.MemCtlDyn
+		}
+	}
+	// When the TDP clamp lowered the total below the raw component sum,
+	// scale the zones so they still account for exactly the clamped power.
+	if sum := b.CoreW + b.DramW + b.UncoreW; sum > 0 && b.TotalW < sum {
+		scale := b.TotalW / sum
+		b.CoreW *= scale
+		b.DramW *= scale
+		b.UncoreW *= scale
+	}
+	return b
+}
+
 // Power returns total machine power and the per-socket breakdown. loads may
 // be shorter than the socket count; missing entries are treated as idle.
 func (p *Platform) Power(c Config, loads []SocketLoad) (total float64, perSocket []float64) {

@@ -1,0 +1,85 @@
+package machine
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSocketPowerBreakdownMatchesSocketPower sweeps configurations and
+// loads checking the two invariants the zone families depend on: the
+// package total is bit-identical to SocketPower (so the exporter's node
+// totals never drift from the sim), and the core/dram/uncore components
+// account for exactly that total.
+func TestSocketPowerBreakdownMatchesSocketPower(t *testing.T) {
+	for _, p := range []*Platform{E52690Server(), MobileSoC()} {
+		loads := []SocketLoad{
+			{},
+			{BusyCores: 2, StallFrac: 0.3, BWGBs: 10},
+			{BusyCores: float64(p.CoresPerSocket), HTShare: 1, BWGBs: 1e6}, // saturated: TDP clamp likely
+			{BusyCores: 1e9, StallFrac: 2, BWGBs: -5},                      // out-of-range inputs clamp
+		}
+		Enumerate(p, func(c Config) bool {
+			for s := 0; s < p.Sockets; s++ {
+				for _, load := range loads {
+					want := p.SocketPower(c, s, load)
+					b := p.SocketPowerBreakdown(c, s, load)
+					if b.TotalW != want {
+						t.Fatalf("%s s%d %+v: TotalW = %v, SocketPower = %v", p.Name, s, load, b.TotalW, want)
+					}
+					if b.CoreW < 0 || b.DramW < 0 || b.UncoreW < 0 {
+						t.Fatalf("%s s%d %+v: negative component %+v", p.Name, s, load, b)
+					}
+					sum := b.CoreW + b.DramW + b.UncoreW
+					if math.Abs(sum-b.TotalW) > 1e-9*math.Max(1, b.TotalW) {
+						t.Fatalf("%s s%d %+v: components sum %v != total %v", p.Name, s, load, sum, b.TotalW)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// TestSocketPowerBreakdownParked pins the parked-socket split: no core
+// zone, the parked floor in uncore, and dram only while the controller
+// stays interleaved.
+func TestSocketPowerBreakdownParked(t *testing.T) {
+	p := E52690Server()
+	c := Config{Cores: 4, Sockets: 1, MemCtls: 2}.Normalize(p)
+	if c.Sockets != 1 || c.MemCtls != 2 {
+		t.Skipf("normalized config %+v cannot park a socket with an active controller", c)
+	}
+	b := p.SocketPowerBreakdown(c, 1, SocketLoad{BWGBs: 5})
+	if b.CoreW != 0 {
+		t.Errorf("parked socket CoreW = %v, want 0", b.CoreW)
+	}
+	if b.UncoreW != p.SocketParked {
+		t.Errorf("parked socket UncoreW = %v, want %v", b.UncoreW, p.SocketParked)
+	}
+	if b.DramW <= 0 {
+		t.Errorf("parked socket with an interleaved controller DramW = %v, want > 0", b.DramW)
+	}
+
+	c2 := Config{Cores: 4, Sockets: 1, MemCtls: 1}.Normalize(p)
+	b2 := p.SocketPowerBreakdown(c2, 1, SocketLoad{BWGBs: 5})
+	if b2.DramW != 0 {
+		t.Errorf("parked socket without a controller DramW = %v, want 0", b2.DramW)
+	}
+}
+
+// TestSocketPowerBreakdownClampRescales drives a socket into its TDP
+// clamp and checks the zones rescale onto the clamped total instead of
+// summing past it.
+func TestSocketPowerBreakdownClampRescales(t *testing.T) {
+	p := MobileSoC() // peak power ~2x sustainable: the clamp is reachable
+	c := MaxConfig(p)
+	load := SocketLoad{BusyCores: float64(c.Cores), HTShare: 1, BWGBs: p.BWPerCtlGBs * 10}
+	b := p.SocketPowerBreakdown(c, 0, load)
+	if b.TotalW != p.SocketTDP {
+		t.Skipf("load did not reach the TDP clamp (total %v, TDP %v)", b.TotalW, p.SocketTDP)
+	}
+	sum := b.CoreW + b.DramW + b.UncoreW
+	if math.Abs(sum-b.TotalW) > 1e-9*b.TotalW {
+		t.Errorf("clamped components sum %v != clamped total %v", sum, b.TotalW)
+	}
+}

@@ -11,3 +11,4 @@ func BenchmarkSessionAdvance(b *testing.B) { SessionAdvance(b) }
 func BenchmarkSweepCell(b *testing.B)      { SweepCell(b) }
 func BenchmarkServerTick(b *testing.B)     { ServerTick(b) }
 func BenchmarkClusterEpoch(b *testing.B)   { ClusterEpoch(b) }
+func BenchmarkRouterPublish(b *testing.B)  { RouterPublish(b) }

@@ -9,6 +9,7 @@ import (
 	"pupil/internal/core"
 	"pupil/internal/driver"
 	"pupil/internal/machine"
+	"pupil/internal/pipeline"
 	"pupil/internal/server"
 	"pupil/internal/sweep"
 	"pupil/internal/workload"
@@ -30,6 +31,7 @@ func Suite() []Benchmark {
 		{Name: "BenchmarkSweepCell", Fn: SweepCell},
 		{Name: "BenchmarkServerTick", Fn: ServerTick},
 		{Name: "BenchmarkClusterEpoch", Fn: ClusterEpoch},
+		{Name: "BenchmarkRouterPublish", Fn: RouterPublish},
 	}
 }
 
@@ -184,5 +186,32 @@ func ClusterEpoch(b *testing.B) {
 		if !c.StepOnce() {
 			b.Fatal("cluster stopped during benchmark")
 		}
+	}
+}
+
+// RouterPublish measures the telemetry pipeline's intake: one op pushes a
+// node-tick-shaped sample through the router to an in-memory ring sink at
+// the default queue/batch configuration. The op must sustain well over
+// 100k samples/s with zero drops — a drop here means the backpressure
+// path would be lossy for an ordinary single-node publisher, so the
+// benchmark fails rather than reporting a misleading ns/op.
+func RouterPublish(b *testing.B) {
+	r := pipeline.NewRouter(pipeline.Config{})
+	if err := r.AddSink("ring", pipeline.NewRing(4096)); err != nil {
+		b.Fatal(err)
+	}
+	smp := pipeline.Sample{Family: "pupil_power_watts", Node: "bench", Zone: "package_0", SimS: 1, Value: 96.5}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		smp.SimS += 0.25
+		r.Publish(smp)
+	}
+	b.StopTimer()
+	if err := r.Close(); err != nil {
+		b.Fatal(err)
+	}
+	if dropped := r.Dropped(); dropped > 0 {
+		b.Fatalf("router dropped %d of %d samples at default config", dropped, b.N)
 	}
 }

@@ -1,0 +1,106 @@
+package pipeline
+
+import (
+	"pupil/internal/cluster"
+	"pupil/internal/driver"
+	"pupil/internal/telemetry"
+)
+
+// SessionCollector adapts one driver.Session into the sample stream: the
+// node-level power/cap/perf/energy families plus the per-socket zone
+// families the machine model breaks power into.
+type SessionCollector struct {
+	// Node labels every sample.
+	Node string
+	// Session is the live session snapshotted on each Collect.
+	Session *driver.Session
+}
+
+// Families implements Collector.
+func (c *SessionCollector) Families() []MetricFamily {
+	return []MetricFamily{
+		{Name: "pupil_power_watts", Help: "Instantaneous simulated node power draw in Watts.", Kind: Gauge},
+		{Name: "pupil_cap_watts", Help: "Power cap currently enforced on the node in Watts.", Kind: Gauge},
+		{Name: "pupil_perf_hbs", Help: "Aggregate node work rate in heartbeats per second.", Kind: Gauge},
+		{Name: "pupil_zone_cap_watts", Help: "RAPL cap programmed for a package power zone, in Watts.", Kind: Gauge},
+		{Name: "pupil_energy_joules_total", Help: "Total simulated energy consumed by the node.", Kind: Counter},
+	}
+}
+
+// Collect implements Collector.
+func (c *SessionCollector) Collect(out []Sample) []Sample {
+	sn := c.Session.Snapshot()
+	simS := sn.Now.Seconds()
+	out = append(out,
+		Sample{Family: "pupil_power_watts", Node: c.Node, SimS: simS, Value: sn.PowerWatts},
+		Sample{Family: "pupil_cap_watts", Node: c.Node, SimS: simS, Value: sn.CapWatts},
+		Sample{Family: "pupil_perf_hbs", Node: c.Node, SimS: simS, Value: sn.TotalRate()})
+	for _, z := range sn.Zones {
+		out = append(out, Sample{Family: "pupil_power_watts", Node: c.Node, Zone: z.Zone, SimS: simS, Value: z.PowerWatts})
+		if z.CapWatts > 0 {
+			out = append(out, Sample{Family: "pupil_zone_cap_watts", Node: c.Node, Zone: z.Zone, SimS: simS, Value: z.CapWatts})
+		}
+	}
+	out = append(out, Sample{Family: "pupil_energy_joules_total", Node: c.Node, SimS: simS, Value: sn.EnergyJ})
+	return out
+}
+
+// CoordinatorCollector adapts one cluster.Coordinator into the sample
+// stream: budget, trailing-epoch power and rate, and per-node cap shares.
+type CoordinatorCollector struct {
+	// Cluster labels every sample.
+	Cluster string
+	// Coord is the live coordinator snapshotted on each Collect. The
+	// caller owns synchronization against concurrent Steps.
+	Coord *cluster.Coordinator
+}
+
+// Families implements Collector.
+func (c *CoordinatorCollector) Families() []MetricFamily {
+	return []MetricFamily{
+		{Name: "pupil_cluster_budget_watts", Help: "Global power budget the cluster coordinator partitions, in Watts.", Kind: Gauge},
+		{Name: "pupil_cluster_power_watts", Help: "Cluster-wide mean power over the trailing epoch in Watts.", Kind: Gauge},
+		{Name: "pupil_cluster_perf_hbs", Help: "Cluster-wide work rate over the trailing epoch in heartbeats per second.", Kind: Gauge},
+		{Name: "pupil_cluster_node_cap_watts", Help: "Budget share currently assigned to one cluster node, in Watts.", Kind: Gauge},
+	}
+}
+
+// Collect implements Collector.
+func (c *CoordinatorCollector) Collect(out []Sample) []Sample {
+	sn := c.Coord.Snapshot()
+	simS := sn.Now.Seconds()
+	out = append(out,
+		Sample{Family: "pupil_cluster_budget_watts", Cluster: c.Cluster, SimS: simS, Value: sn.Budget},
+		Sample{Family: "pupil_cluster_power_watts", Cluster: c.Cluster, SimS: simS, Value: sn.TotalPower},
+		Sample{Family: "pupil_cluster_perf_hbs", Cluster: c.Cluster, SimS: simS, Value: sn.TotalRate})
+	for _, n := range sn.Nodes {
+		out = append(out, Sample{Family: "pupil_cluster_node_cap_watts", Cluster: c.Cluster, Node: n.Name, SimS: simS, Value: n.CapWatts})
+	}
+	return out
+}
+
+// SensorCollector adapts one sim telemetry.Sensor: each Collect emits the
+// sensor's latest windowed reading as one sample.
+type SensorCollector struct {
+	// Family names the emitted family; Node and Zone label it.
+	Family MetricFamily
+	Node   string
+	Zone   string
+	// Sensor is the live sensor; its window's newest reading is sampled.
+	Sensor *telemetry.Sensor
+}
+
+// Families implements Collector.
+func (c *SensorCollector) Families() []MetricFamily { return []MetricFamily{c.Family} }
+
+// Collect implements Collector.
+func (c *SensorCollector) Collect(out []Sample) []Sample {
+	last := c.Sensor.Window().Last()
+	return append(out, Sample{
+		Family: c.Family.Name,
+		Node:   c.Node,
+		Zone:   c.Zone,
+		SimS:   last.T.Seconds(),
+		Value:  last.V,
+	})
+}

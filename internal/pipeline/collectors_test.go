@@ -1,0 +1,168 @@
+package pipeline
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"pupil/internal/cluster"
+	"pupil/internal/control"
+	"pupil/internal/core"
+	"pupil/internal/driver"
+	"pupil/internal/machine"
+	"pupil/internal/sim"
+	"pupil/internal/telemetry"
+	"pupil/internal/workload"
+)
+
+func testSpecs(t *testing.T, threads int, names ...string) []workload.Spec {
+	t.Helper()
+	out := make([]workload.Spec, len(names))
+	for i, n := range names {
+		p, err := workload.ByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = workload.Spec{Profile: p, Threads: threads}
+	}
+	return out
+}
+
+func byFamily(samples []Sample) map[string][]Sample {
+	out := make(map[string][]Sample)
+	for _, s := range samples {
+		out[s.Family] = append(out[s.Family], s)
+	}
+	return out
+}
+
+// TestSessionCollectorEmitsZoneFamilies drives a live session and checks
+// the collector emits node-level power plus the machine model's
+// package/core/dram zone breakdown, each zone summing under the node
+// total and the caps mirroring the firmware.
+func TestSessionCollectorEmitsZoneFamilies(t *testing.T) {
+	plat := machine.E52690Server()
+	s, err := driver.NewSession(driver.Scenario{
+		Platform:   plat,
+		Specs:      testSpecs(t, 32, "jacobi"),
+		CapWatts:   140,
+		Controller: control.NewRAPLOnly(),
+		Seed:       1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Advance(5 * time.Second)
+
+	c := &SessionCollector{Node: "n1", Session: s}
+	fams := byFamily(c.Collect(nil))
+
+	nodeLevel := 0
+	var zoneSum, nodeTotal float64
+	zones := map[string]bool{}
+	for _, smp := range fams["pupil_power_watts"] {
+		if smp.Node != "n1" {
+			t.Errorf("sample missing node label: %+v", smp)
+		}
+		if smp.Zone == "" {
+			nodeLevel++
+			nodeTotal = smp.Value
+			continue
+		}
+		zones[smp.Zone] = true
+		if !strings.Contains(smp.Zone, "_core") && !strings.Contains(smp.Zone, "_dram") {
+			zoneSum += smp.Value // package totals only; core/dram are subzones
+		}
+	}
+	if nodeLevel != 1 {
+		t.Fatalf("node-level power samples = %d, want 1", nodeLevel)
+	}
+	for _, want := range []string{"package_0", "package_0_core", "package_0_dram"} {
+		if !zones[want] {
+			t.Errorf("zone %q missing; have %v", want, zones)
+		}
+	}
+	if zoneSum <= 0 || zoneSum > nodeTotal*1.01 {
+		t.Errorf("package zones sum to %.2f W against node total %.2f W", zoneSum, nodeTotal)
+	}
+	for _, smp := range fams["pupil_zone_cap_watts"] {
+		if smp.Value <= 0 {
+			t.Errorf("zone cap %+v not positive", smp)
+		}
+	}
+	if got := fams["pupil_cap_watts"]; len(got) != 1 || got[0].Value != 140 {
+		t.Errorf("pupil_cap_watts = %+v, want one sample at 140", got)
+	}
+	if got := fams["pupil_energy_joules_total"]; len(got) != 1 || got[0].Value <= 0 {
+		t.Errorf("pupil_energy_joules_total = %+v", got)
+	}
+	for _, smp := range fams["pupil_perf_hbs"] {
+		if smp.SimS != 5 {
+			t.Errorf("SimS = %g, want 5", smp.SimS)
+		}
+	}
+}
+
+func TestCoordinatorCollector(t *testing.T) {
+	coord, err := cluster.NewCoordinator(cluster.Config{
+		Nodes: []cluster.NodeSpec{
+			{Name: "a", Platform: machine.E52690Server(), Specs: testSpecs(t, 16, "jacobi"),
+				NewController: func(*machine.Platform) core.Controller { return control.NewRAPLOnly() }},
+			{Name: "b", Platform: machine.E52690Server(), Specs: testSpecs(t, 16, "STREAM"),
+				NewController: func(*machine.Platform) core.Controller { return control.NewRAPLOnly() }},
+		},
+		BudgetWatts: 240,
+		Epoch:       2 * time.Second,
+		Seed:        7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Step(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	c := &CoordinatorCollector{Cluster: "c1", Coord: coord}
+	fams := byFamily(c.Collect(nil))
+	if got := fams["pupil_cluster_budget_watts"]; len(got) != 1 || got[0].Value != 240 || got[0].Cluster != "c1" {
+		t.Errorf("budget samples = %+v", got)
+	}
+	if got := fams["pupil_cluster_power_watts"]; len(got) != 1 || got[0].Value <= 0 {
+		t.Errorf("power samples = %+v", got)
+	}
+	caps := fams["pupil_cluster_node_cap_watts"]
+	if len(caps) != 2 {
+		t.Fatalf("node cap samples = %+v, want 2", caps)
+	}
+	var total float64
+	for _, smp := range caps {
+		if smp.Node != "a" && smp.Node != "b" {
+			t.Errorf("cap sample missing node name: %+v", smp)
+		}
+		total += smp.Value
+	}
+	if total > 240*1.001 {
+		t.Errorf("assigned caps sum to %.1f W over the 240 W budget", total)
+	}
+}
+
+func TestSensorCollector(t *testing.T) {
+	sensor := telemetry.NewSensor("power", func() float64 { return 87.5 },
+		10*time.Millisecond, 64, telemetry.NoiseSpec{}, sim.NewRNG(1))
+	sensor.Tick(3 * time.Second)
+	c := &SensorCollector{
+		Family: MetricFamily{Name: "pupil_sensor_watts", Help: "Raw sensor.", Kind: Gauge},
+		Node:   "n1", Zone: "package_0",
+		Sensor: sensor,
+	}
+	got := c.Collect(nil)
+	if len(got) != 1 {
+		t.Fatalf("samples = %+v", got)
+	}
+	s := got[0]
+	if s.Family != "pupil_sensor_watts" || s.Node != "n1" || s.Zone != "package_0" || s.Value != 87.5 || s.SimS != 3 {
+		t.Errorf("sample = %+v", s)
+	}
+	if fams := c.Families(); len(fams) != 1 || fams[0].Name != "pupil_sensor_watts" {
+		t.Errorf("families = %+v", fams)
+	}
+}

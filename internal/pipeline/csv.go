@@ -1,0 +1,77 @@
+package pipeline
+
+import (
+	"encoding/csv"
+	"io"
+	"strconv"
+	"sync"
+)
+
+// CSV is a sink writing one row per sample — the experiment-artifact
+// format, loadable straight into a dataframe. The header is written with
+// the first batch; Close closes the underlying writer when it is an
+// io.Closer.
+type CSV struct {
+	mu     sync.Mutex
+	w      *csv.Writer
+	c      io.Closer
+	header bool
+	row    []string
+}
+
+var csvHeader = []string{"sim_s", "family", "cluster", "node", "zone", "value"}
+
+// NewCSV returns a CSV sink over w.
+func NewCSV(w io.Writer) *CSV {
+	s := &CSV{w: csv.NewWriter(w), row: make([]string, len(csvHeader))}
+	if c, ok := w.(io.Closer); ok {
+		s.c = c
+	}
+	return s
+}
+
+// Write implements Sink.
+func (s *CSV) Write(batch []Sample) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.header {
+		if err := s.w.Write(csvHeader); err != nil {
+			return err
+		}
+		s.header = true
+	}
+	for _, smp := range batch {
+		s.row[0] = strconv.FormatFloat(smp.SimS, 'g', -1, 64)
+		s.row[1] = smp.Family
+		s.row[2] = smp.Cluster
+		s.row[3] = smp.Node
+		s.row[4] = smp.Zone
+		s.row[5] = strconv.FormatFloat(smp.Value, 'g', -1, 64)
+		if err := s.w.Write(s.row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush implements Sink.
+func (s *CSV) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.w.Flush()
+	return s.w.Error()
+}
+
+// Close flushes and closes the underlying writer if it is closable.
+func (s *CSV) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.w.Flush()
+	err := s.w.Error()
+	if s.c != nil {
+		if cerr := s.c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

@@ -1,0 +1,53 @@
+package pipeline
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzLabelEscaping drives arbitrary label values through the exposition
+// escaper: the output must be newline-free and quote-balanced (a scraper
+// can always find the closing quote), and unescaping must invert it
+// exactly.
+func FuzzLabelEscaping(f *testing.F) {
+	f.Add("")
+	f.Add("package_0")
+	f.Add("package_0_dram")
+	f.Add(`back\slash`)
+	f.Add(`quo"te`)
+	f.Add("new\nline")
+	f.Add("\\")
+	f.Add(`\n`)
+	f.Add("mixed\\\"\nall")
+	f.Add("utf8 zøne é世")
+	f.Add("\x00\x01\x7f")
+	f.Fuzz(func(t *testing.T, label string) {
+		esc := string(appendEscapedLabel(nil, label))
+		if strings.Contains(esc, "\n") {
+			t.Fatalf("escaped %q contains a raw newline: %q", label, esc)
+		}
+		// Every double-quote must arrive escaped, or the serialized sample
+		// would terminate the label value early.
+		for i := 0; i < len(esc); i++ {
+			if esc[i] != '"' {
+				continue
+			}
+			backslashes := 0
+			for j := i - 1; j >= 0 && esc[j] == '\\'; j-- {
+				backslashes++
+			}
+			if backslashes%2 == 0 {
+				t.Fatalf("escaped %q has an unescaped quote at %d: %q", label, i, esc)
+			}
+		}
+		if got := UnescapeLabel(esc); got != label {
+			t.Fatalf("roundtrip %q -> %q -> %q", label, esc, got)
+		}
+		// Escaping must compose with the sample renderer: the rendered line
+		// ends in the value, with the label intact between the quotes.
+		line := string(appendSample(nil, Sample{Family: "f", Node: label, Value: 1}))
+		if !strings.HasSuffix(line, " 1\n") {
+			t.Fatalf("rendered sample malformed: %q", line)
+		}
+	})
+}

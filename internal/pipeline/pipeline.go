@@ -1,0 +1,85 @@
+// Package pipeline is the telemetry subsystem behind pupild's exporters:
+// a collector → router → sink architecture in the shape of
+// cc-metric-collector, scaled down to this repository's needs.
+//
+// Collectors adapt existing sample sources — driver sessions, cluster
+// coordinators, sim sensors — into streams of typed Samples grouped into
+// MetricFamily declarations. The Router fans published samples out to any
+// number of Sinks, each behind its own bounded queue drained by a worker
+// goroutine in batches: a slow sink drops samples (counted, never
+// blocking the publisher), and Close stops intake, drains every queue in
+// publish order, flushes, and closes the sinks. Sinks serialize batches:
+// Prometheus text exposition, NDJSON streams, an in-memory ring for tests
+// and the /v1/telemetry/recent endpoint, and CSV experiment artifacts.
+//
+// Zone-labeled samples carry RAPL-style power zones ("package_0",
+// "package_0_core", "package_0_dram") so subsystem-level families such as
+// pupil_power_watts{zone="..."} flow end-to-end from the machine model to
+// the exposition endpoint.
+package pipeline
+
+// Kind is a metric family's Prometheus type.
+type Kind int
+
+// Metric kinds, in exposition vocabulary.
+const (
+	Gauge Kind = iota
+	Counter
+)
+
+// String returns the exposition-format type name.
+func (k Kind) String() string {
+	if k == Counter {
+		return "counter"
+	}
+	return "gauge"
+}
+
+// MetricFamily declares one named series family: its exposition name, help
+// text, and kind. Collectors declare their families up front so sinks can
+// emit headers even for families with no samples yet.
+type MetricFamily struct {
+	Name string
+	Help string
+	Kind Kind
+}
+
+// Sample is one typed telemetry record: a family name, the label set
+// identifying the series within it, the simulated timestamp it was taken
+// at, and the value. Zero-valued labels are omitted everywhere a sample is
+// serialized.
+type Sample struct {
+	// Family is the metric family name, e.g. "pupil_power_watts".
+	Family string `json:"family"`
+	// Cluster, Node, Zone, and Sink are the label set, in the label order
+	// sinks serialize. Zone carries RAPL-style power zones ("package_0",
+	// "package_0_core", "package_0_dram"); Sink labels the router's own
+	// accounting families.
+	Cluster string `json:"cluster,omitempty"`
+	Node    string `json:"node,omitempty"`
+	Zone    string `json:"zone,omitempty"`
+	Sink    string `json:"sink,omitempty"`
+	// SimS is the simulated time the sample was taken at, in seconds.
+	SimS float64 `json:"sim_s"`
+	// Value is the observation.
+	Value float64 `json:"value"`
+}
+
+// Collector turns a live source into samples on demand. Families declares
+// every family Collect may emit, in presentation order; Collect appends
+// the current samples to out and returns the extended slice, so callers
+// can reuse one scratch buffer across gathers.
+type Collector interface {
+	Families() []MetricFamily
+	Collect(out []Sample) []Sample
+}
+
+// Sink receives sample batches from the router. Write owns nothing: the
+// batch slice is reused by the caller after Write returns, so a sink that
+// retains samples must copy them. Flush forces buffered output down;
+// Close releases resources. The router serializes all three per sink.
+type Sink interface {
+	Write(batch []Sample) error
+	Flush() error
+	Close() error
+}

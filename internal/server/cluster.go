@@ -20,6 +20,7 @@ import (
 	"pupil/internal/cluster"
 	"pupil/internal/core"
 	"pupil/internal/machine"
+	"pupil/internal/pipeline"
 	"pupil/internal/telemetry"
 )
 
@@ -110,6 +111,9 @@ type ClusterStatus struct {
 	TotalPerfHBs    float64             `json:"total_perf_hbs"`
 	Nodes           []ClusterNodeStatus `json:"nodes"`
 	Subscribers     int                 `json:"subscribers"`
+	// StreamDropped counts samples lost across all of this cluster's
+	// stream subscribers (including closed ones) to full ring buffers.
+	StreamDropped uint64 `json:"stream_dropped,omitempty"`
 	// FailReason carries the panic message of a failed cluster.
 	FailReason string `json:"fail_reason,omitempty"`
 }
@@ -138,13 +142,14 @@ type ClusterSample struct {
 // mutex serializing coordinator access against budget/cap mutations and
 // status reads, and the per-epoch telemetry fan-out.
 type Cluster struct {
-	id       string
-	cfg      ClusterConfig
-	nodeTech []string   // resolved technique per node
-	nodeApps [][]string // resolved workload names per node
-	epochSim time.Duration
-	tickReal time.Duration
-	maxSim   time.Duration
+	id        string
+	cfg       ClusterConfig
+	nodeTech  []string   // resolved technique per node
+	nodeNames []string   // resolved display name per node
+	nodeApps  [][]string // resolved workload names per node
+	epochSim  time.Duration
+	tickReal  time.Duration
+	maxSim    time.Duration
 
 	mu         sync.Mutex // guards coord, last, lastSnap, state, failReason
 	coord      *cluster.Coordinator
@@ -157,6 +162,11 @@ type Cluster struct {
 	fan    *telemetry.Fanout[ClusterSample]
 	cancel context.CancelFunc
 	done   chan struct{}
+
+	// router is the manager's telemetry pipeline (nil on detached
+	// clusters); pubBuf is the reused per-epoch publish batch.
+	router *pipeline.Router
+	pubBuf []pipeline.Sample
 }
 
 // ID returns the manager-assigned cluster ID.
@@ -219,6 +229,7 @@ func (c *Cluster) Status() ClusterStatus {
 		TotalPowerWatts: sn.TotalPower,
 		TotalPerfHBs:    sn.TotalRate,
 		Subscribers:     c.fan.Subscribers(),
+		StreamDropped:   c.fan.TotalDropped(),
 		FailReason:      c.failReason,
 	}
 	for i, ns := range sn.Nodes {
@@ -246,8 +257,40 @@ func (c *Cluster) tick() bool {
 	smp, publish, cont := c.advance()
 	if publish {
 		c.fan.Publish(smp)
+		c.publishPipeline(smp)
 	}
 	return cont
+}
+
+// StreamDropped counts samples lost across every epoch-stream subscriber
+// this cluster ever had.
+func (c *Cluster) StreamDropped() uint64 { return c.fan.TotalDropped() }
+
+// publishPipeline routes the epoch's metric families — budget, aggregate
+// power and perf, and per-node cap shares — through the manager's
+// telemetry router. Detached clusters have no router and skip it.
+func (c *Cluster) publishPipeline(smp ClusterSample) {
+	if c.router == nil {
+		return
+	}
+	b := c.pubBuf[:0]
+	b = append(b,
+		pipeline.Sample{Family: "pupil_cluster_budget_watts", Cluster: c.id, SimS: smp.SimS, Value: smp.BudgetWatts},
+		pipeline.Sample{Family: "pupil_cluster_power_watts", Cluster: c.id, SimS: smp.SimS, Value: smp.TotalPowerWatts},
+		pipeline.Sample{Family: "pupil_cluster_perf_hbs", Cluster: c.id, SimS: smp.SimS, Value: smp.TotalPerfHBs})
+	for i, capW := range smp.CapsWatts {
+		b = append(b, pipeline.Sample{Family: "pupil_cluster_node_cap_watts", Cluster: c.id, Node: c.nodeName(i), SimS: smp.SimS, Value: capW})
+	}
+	c.router.PublishBatch(b)
+	c.pubBuf = b
+}
+
+// nodeName returns node i's resolved name (the coordinator's label).
+func (c *Cluster) nodeName(i int) string {
+	if i < len(c.nodeNames) {
+		return c.nodeNames[i]
+	}
+	return ""
 }
 
 // advance runs one locked coordinator epoch. A panic escaping a node's
@@ -353,12 +396,18 @@ func (m *Manager) CreateCluster(cfg ClusterConfig) (*Cluster, error) {
 	}
 	m.nextClusterID++
 	c.id = fmt.Sprintf("c%d", m.nextClusterID)
+	c.router = m.router
 	ctx, cancel := context.WithCancel(m.ctx)
 	c.cancel = cancel
 	m.clusters[c.id] = c
 	m.clusterOrder = append(m.clusterOrder, c.id)
 	m.wg.Add(1)
 	m.mu.Unlock()
+
+	id := c.id
+	c.fan.SetLagWarn(5*time.Second, func(total uint64) {
+		log.Printf("server: cluster %s stream subscriber lagging; %d samples dropped so far", id, total)
+	})
 
 	m.clustersCreated.Add(1)
 	go func() {
@@ -490,6 +539,7 @@ func buildCluster(cfg ClusterConfig) (*Cluster, error) {
 			apps[j] = s.Profile.Name
 		}
 		c.nodeTech = append(c.nodeTech, tech)
+		c.nodeNames = append(c.nodeNames, name)
 		c.nodeApps = append(c.nodeApps, apps)
 		specs[i] = cluster.NodeSpec{
 			Name:     name,

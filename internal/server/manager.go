@@ -28,6 +28,7 @@ import (
 	"pupil/internal/driver"
 	"pupil/internal/faults"
 	"pupil/internal/machine"
+	"pupil/internal/pipeline"
 	"pupil/internal/telemetry"
 	"pupil/internal/workload"
 )
@@ -171,6 +172,10 @@ type Sample struct {
 	// Degraded reports whether the supervision layer has the node off its
 	// normal rung (hardware-only, cap-backoff, or probing).
 	Degraded bool `json:"degraded,omitempty"`
+	// Zones are the per-socket RAPL-style zone readings behind
+	// PowerWatts: package totals with their programmed caps, plus core
+	// and dram components.
+	Zones []driver.ZonePower `json:"zones,omitempty"`
 }
 
 // State is a node's lifecycle phase.
@@ -209,6 +214,11 @@ type NodeStatus struct {
 	// "cap-backoff", "probing"); Degradations counts transitions so far.
 	DegradeLevel string `json:"degrade_level"`
 	Degradations int    `json:"degradations"`
+	// StreamDropped counts samples lost across all of this node's stream
+	// subscribers (including closed ones) to full ring buffers.
+	StreamDropped uint64 `json:"stream_dropped,omitempty"`
+	// Zones are the per-socket RAPL-style power zone readings.
+	Zones []driver.ZonePower `json:"zones,omitempty"`
 	// FailReason carries the panic message of a failed node.
 	FailReason string `json:"fail_reason,omitempty"`
 }
@@ -233,6 +243,12 @@ type Node struct {
 	fan    *telemetry.Fanout[Sample]
 	cancel context.CancelFunc
 	done   chan struct{}
+
+	// router is the manager's telemetry pipeline (nil on detached nodes);
+	// pubBuf is the reused per-tick publish batch — PublishBatch copies
+	// samples into the sink queues, so reuse is safe.
+	router *pipeline.Router
+	pubBuf []pipeline.Sample
 }
 
 // ID returns the manager-assigned node ID.
@@ -319,9 +335,15 @@ func (n *Node) Status() NodeStatus {
 		FaultsActive:   sn.FaultsActive,
 		DegradeLevel:   sn.DegradeLevel,
 		Degradations:   sn.Degradations,
+		StreamDropped:  n.fan.TotalDropped(),
+		Zones:          sn.Zones,
 		FailReason:     n.failReason,
 	}
 }
+
+// StreamDropped counts samples lost across every stream subscriber this
+// node ever had.
+func (n *Node) StreamDropped() uint64 { return n.fan.TotalDropped() }
 
 // NewDetachedNode builds a node whose tick loop is not started: callers
 // advance it synchronously with StepOnce. The perf harness benchmarks the
@@ -361,8 +383,29 @@ func (n *Node) tick() bool {
 	smp, publish, cont := n.advance()
 	if publish {
 		n.fan.Publish(smp)
+		n.publishPipeline(smp)
 	}
 	return cont
+}
+
+// publishPipeline routes the tick's metric families — node-level power,
+// cap, and perf plus the per-zone power breakdown — through the manager's
+// telemetry router. Detached nodes (benchmarks, synchronous tests) have
+// no router and skip it.
+func (n *Node) publishPipeline(smp Sample) {
+	if n.router == nil {
+		return
+	}
+	b := n.pubBuf[:0]
+	b = append(b,
+		pipeline.Sample{Family: "pupil_power_watts", Node: n.id, SimS: smp.SimS, Value: smp.PowerWatts},
+		pipeline.Sample{Family: "pupil_cap_watts", Node: n.id, SimS: smp.SimS, Value: smp.CapWatts},
+		pipeline.Sample{Family: "pupil_perf_hbs", Node: n.id, SimS: smp.SimS, Value: smp.PerfHBs})
+	for _, z := range smp.Zones {
+		b = append(b, pipeline.Sample{Family: "pupil_power_watts", Node: n.id, Zone: z.Zone, SimS: smp.SimS, Value: z.PowerWatts})
+	}
+	n.router.PublishBatch(b)
+	n.pubBuf = b
 }
 
 // advance runs one locked simulation increment. A panic escaping the
@@ -398,6 +441,7 @@ func (n *Node) advance() (smp Sample, publish, cont bool) {
 		PerfHBs:        sn.TotalRate(),
 		FaultsActive:   sn.FaultsActive,
 		Degraded:       sn.DegradeLevel != "" && sn.DegradeLevel != "normal",
+		Zones:          sn.Zones,
 	}
 	n.last = smp
 	if n.maxSim > 0 && sn.Now >= n.maxSim {
@@ -473,17 +517,58 @@ type Manager struct {
 
 	clustersCreated atomic.Uint64
 	clustersDeleted atomic.Uint64
+
+	// router is the telemetry pipeline every node and cluster publishes
+	// through; recent is its always-attached ring sink, serving
+	// GET /v1/telemetry/recent.
+	router *pipeline.Router
+	recent *pipeline.Ring
 }
 
-// NewManager returns an empty manager ready to create nodes.
+// DefaultRecentSamples is the capacity of the manager's ring sink.
+const DefaultRecentSamples = 1024
+
+// NewManager returns an empty manager ready to create nodes, with a
+// default-tuned telemetry router.
 func NewManager() *Manager {
+	return NewManagerPipeline(pipeline.Config{})
+}
+
+// NewManagerPipeline is NewManager with explicit router tuning.
+func NewManagerPipeline(cfg pipeline.Config) *Manager {
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Manager{
+	m := &Manager{
 		nodes:    make(map[string]*Node),
 		clusters: make(map[string]*Cluster),
 		ctx:      ctx,
 		cancel:   cancel,
+		router:   pipeline.NewRouter(cfg),
+		recent:   pipeline.NewRing(DefaultRecentSamples),
 	}
+	_ = m.router.AddSink("recent", m.recent)
+	m.router.SetDropWarn(5*time.Second, func(sink string, dropped uint64) {
+		log.Printf("server: telemetry sink %q lagging; %d samples dropped so far", sink, dropped)
+	})
+	return m
+}
+
+// Router exposes the manager's telemetry pipeline, for callers attaching
+// sinks or reading accounting.
+func (m *Manager) Router() *pipeline.Router { return m.router }
+
+// AddSink attaches a named sink to the manager's telemetry router.
+func (m *Manager) AddSink(name string, sink pipeline.Sink) error {
+	return m.router.AddSink(name, sink)
+}
+
+// Recent returns the newest max samples (all retained when max <= 0) from
+// the router's ring sink, oldest first.
+func (m *Manager) Recent(max int) []pipeline.Sample {
+	samples := m.recent.Samples()
+	if max > 0 && len(samples) > max {
+		samples = samples[len(samples)-max:]
+	}
+	return samples
 }
 
 // Create builds a node from its configuration and starts its tick loop.
@@ -522,12 +607,18 @@ func (m *Manager) Create(cfg NodeConfig) (*Node, error) {
 	}
 	m.nextID++
 	n.id = fmt.Sprintf("n%d", m.nextID)
+	n.router = m.router
 	ctx, cancel := context.WithCancel(m.ctx)
 	n.cancel = cancel
 	m.nodes[n.id] = n
 	m.order = append(m.order, n.id)
 	m.wg.Add(1)
 	m.mu.Unlock()
+
+	id := n.id
+	n.fan.SetLagWarn(5*time.Second, func(total uint64) {
+		log.Printf("server: node %s stream subscriber lagging; %d samples dropped so far", id, total)
+	})
 
 	m.created.Add(1)
 	go func() {
@@ -601,12 +692,16 @@ func (m *Manager) Close() {
 	if m.closed {
 		m.mu.Unlock()
 		m.wg.Wait()
+		_ = m.router.Close()
 		return
 	}
 	m.closed = true
 	m.mu.Unlock()
 	m.cancel()
 	m.wg.Wait()
+	// Every producer has drained; closing the router flushes whatever the
+	// sink queues still hold, in publish order, then closes the sinks.
+	_ = m.router.Close()
 }
 
 // buildSession turns a NodeConfig into a live driver session, returning

@@ -1,137 +1,37 @@
 package server
 
 import (
-	"fmt"
 	"io"
 	"net/http"
+
+	"pupil/internal/pipeline"
 )
 
 // The exporter follows the Prometheus text exposition conventions of the
 // RAPL-exporter exemplar: one HELP/TYPE header per family, one sample per
-// node labeled node="<id>", plus server-level counters. Everything is
-// rendered from live NodeStatus snapshots at scrape time; there is no
-// separate metrics store to drift out of sync.
+// node labeled node="<id>", plus server-level counters. Rendering is done
+// by the pipeline's Exposition page: the collectors in collectors.go
+// gather live NodeStatus/ClusterStatus snapshots at scrape time, and the
+// page appends the router's own published/written/dropped accounting.
+
+// newExposition assembles the /metrics page: node families, cluster
+// families, pipeline self-accounting, request counter — in that order.
+func newExposition(s *Server) *pipeline.Exposition {
+	expo := pipeline.NewExposition()
+	expo.AddGatherer(nodeCollector{mgr: s.mgr})
+	expo.AddGatherer(clusterCollector{mgr: s.mgr})
+	expo.AddGatherer(s.mgr.Router().StatsCollector())
+	expo.AddGatherer(httpCollector{s: s})
+	return expo
+}
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.writeMetrics(w)
+	w.Header().Set("Content-Type", pipeline.ContentType)
+	_, _ = s.expo.WriteTo(w)
 }
 
+// writeMetrics renders the exposition page to w; tests use it to scrape
+// without going through HTTP.
 func (s *Server) writeMetrics(w io.Writer) {
-	nodes := s.mgr.Nodes()
-	statuses := make([]NodeStatus, len(nodes))
-	for i, n := range nodes {
-		statuses[i] = n.Status()
-	}
-
-	gauge := func(name, help string, value func(NodeStatus) float64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
-		for _, st := range statuses {
-			fmt.Fprintf(w, "%s{node=%q} %g\n", name, st.ID, value(st))
-		}
-	}
-	gauge("pupil_power_watts", "Instantaneous simulated node power draw in Watts.",
-		func(st NodeStatus) float64 { return st.PowerWatts })
-	gauge("pupil_cap_watts", "Power cap currently enforced on the node in Watts.",
-		func(st NodeStatus) float64 { return st.CapWatts })
-	gauge("pupil_perf_hbs", "Aggregate node work rate in heartbeats per second.",
-		func(st NodeStatus) float64 { return st.PerfHBs })
-	gauge("pupil_sim_seconds", "Simulated time the node has advanced, in seconds.",
-		func(st NodeStatus) float64 { return st.SimS })
-	gauge("pupil_stream_subscribers", "Live telemetry stream subscribers on the node.",
-		func(st NodeStatus) float64 { return float64(st.Subscribers) })
-	gauge("pupil_faults_active", "Fault scenarios currently in effect on the node.",
-		func(st NodeStatus) float64 { return float64(st.FaultsActive) })
-	gauge("pupil_degraded", "Whether the supervision layer has the node off its normal rung (1) or not (0).",
-		func(st NodeStatus) float64 {
-			if st.DegradeLevel != "" && st.DegradeLevel != "normal" {
-				return 1
-			}
-			return 0
-		})
-
-	fmt.Fprintf(w, "# HELP pupil_energy_joules_total Total simulated energy consumed by the node.\n# TYPE pupil_energy_joules_total counter\n")
-	for _, st := range statuses {
-		fmt.Fprintf(w, "pupil_energy_joules_total{node=%q} %g\n", st.ID, st.EnergyJ)
-	}
-	fmt.Fprintf(w, "# HELP pupil_epochs_total Simulation ticks the node has executed.\n# TYPE pupil_epochs_total counter\n")
-	for _, st := range statuses {
-		fmt.Fprintf(w, "pupil_epochs_total{node=%q} %d\n", st.ID, st.Epoch)
-	}
-	fmt.Fprintf(w, "# HELP pupil_breach_seconds_total Simulated seconds the node's power spent above cap*1.03.\n# TYPE pupil_breach_seconds_total counter\n")
-	for _, st := range statuses {
-		fmt.Fprintf(w, "pupil_breach_seconds_total{node=%q} %g\n", st.ID, st.BreachSeconds)
-	}
-	fmt.Fprintf(w, "# HELP pupil_degradations_total Supervision ladder transitions on the node.\n# TYPE pupil_degradations_total counter\n")
-	for _, st := range statuses {
-		fmt.Fprintf(w, "pupil_degradations_total{node=%q} %d\n", st.ID, st.Degradations)
-	}
-
-	failed := 0
-	for _, st := range statuses {
-		if st.State == StateFailed {
-			failed++
-		}
-	}
-	fmt.Fprintf(w, "# HELP pupil_nodes_failed Nodes whose sessions panicked and were isolated.\n# TYPE pupil_nodes_failed gauge\npupil_nodes_failed %d\n", failed)
-
-	fmt.Fprintf(w, "# HELP pupil_nodes Live simulated nodes.\n# TYPE pupil_nodes gauge\npupil_nodes %d\n", len(statuses))
-	fmt.Fprintf(w, "# HELP pupil_nodes_created_total Nodes created since server start.\n# TYPE pupil_nodes_created_total counter\npupil_nodes_created_total %d\n", s.mgr.Created())
-	fmt.Fprintf(w, "# HELP pupil_nodes_deleted_total Nodes deleted since server start.\n# TYPE pupil_nodes_deleted_total counter\npupil_nodes_deleted_total %d\n", s.mgr.Deleted())
-
-	s.writeClusterMetrics(w)
-
-	fmt.Fprintf(w, "# HELP pupil_http_requests_total HTTP requests served.\n# TYPE pupil_http_requests_total counter\npupil_http_requests_total %d\n", s.requests.Load())
-}
-
-// writeClusterMetrics renders the pupil_cluster_* families: one sample per
-// cluster labeled cluster="<id>", plus per-node cap shares labeled
-// cluster/node, from live ClusterStatus snapshots at scrape time.
-func (s *Server) writeClusterMetrics(w io.Writer) {
-	clusters := s.mgr.Clusters()
-	statuses := make([]ClusterStatus, len(clusters))
-	for i, c := range clusters {
-		statuses[i] = c.Status()
-	}
-
-	gauge := func(name, help string, value func(ClusterStatus) float64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
-		for _, st := range statuses {
-			fmt.Fprintf(w, "%s{cluster=%q} %g\n", name, st.ID, value(st))
-		}
-	}
-	gauge("pupil_cluster_budget_watts", "Global power budget the cluster coordinator partitions, in Watts.",
-		func(st ClusterStatus) float64 { return st.BudgetWatts })
-	gauge("pupil_cluster_power_watts", "Cluster-wide mean power over the trailing epoch in Watts.",
-		func(st ClusterStatus) float64 { return st.TotalPowerWatts })
-	gauge("pupil_cluster_perf_hbs", "Cluster-wide work rate over the trailing epoch in heartbeats per second.",
-		func(st ClusterStatus) float64 { return st.TotalPerfHBs })
-	gauge("pupil_cluster_nodes", "Nodes in the cluster.",
-		func(st ClusterStatus) float64 { return float64(len(st.Nodes)) })
-	gauge("pupil_cluster_sim_seconds", "Simulated time the cluster has advanced, in seconds.",
-		func(st ClusterStatus) float64 { return st.SimS })
-	gauge("pupil_cluster_stream_subscribers", "Live epoch-stream subscribers on the cluster.",
-		func(st ClusterStatus) float64 { return float64(st.Subscribers) })
-
-	fmt.Fprintf(w, "# HELP pupil_cluster_node_cap_watts Budget share currently assigned to one cluster node, in Watts.\n# TYPE pupil_cluster_node_cap_watts gauge\n")
-	for _, st := range statuses {
-		for _, n := range st.Nodes {
-			fmt.Fprintf(w, "pupil_cluster_node_cap_watts{cluster=%q,node=%q} %g\n", st.ID, n.Name, n.CapWatts)
-		}
-	}
-	fmt.Fprintf(w, "# HELP pupil_cluster_epochs_total Coordinator epochs the cluster has stepped.\n# TYPE pupil_cluster_epochs_total counter\n")
-	for _, st := range statuses {
-		fmt.Fprintf(w, "pupil_cluster_epochs_total{cluster=%q} %d\n", st.ID, st.Epoch)
-	}
-
-	failed := 0
-	for _, st := range statuses {
-		if st.State == StateFailed {
-			failed++
-		}
-	}
-	fmt.Fprintf(w, "# HELP pupil_clusters_failed Clusters whose coordinators panicked and were isolated.\n# TYPE pupil_clusters_failed gauge\npupil_clusters_failed %d\n", failed)
-	fmt.Fprintf(w, "# HELP pupil_clusters Live clusters.\n# TYPE pupil_clusters gauge\npupil_clusters %d\n", len(statuses))
-	fmt.Fprintf(w, "# HELP pupil_clusters_created_total Clusters created since server start.\n# TYPE pupil_clusters_created_total counter\npupil_clusters_created_total %d\n", s.mgr.ClustersCreated())
-	fmt.Fprintf(w, "# HELP pupil_clusters_deleted_total Clusters deleted since server start.\n# TYPE pupil_clusters_deleted_total counter\npupil_clusters_deleted_total %d\n", s.mgr.ClustersDeleted())
+	_, _ = s.expo.WriteTo(w)
 }

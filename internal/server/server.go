@@ -11,6 +11,7 @@ import (
 
 	"pupil/internal/driver"
 	"pupil/internal/faults"
+	"pupil/internal/pipeline"
 )
 
 // decodeStrict decodes exactly one JSON value from r into v: unknown fields
@@ -35,14 +36,17 @@ func decodeStrict(r io.Reader, v any) error {
 type Server struct {
 	mgr      *Manager
 	mux      *http.ServeMux
+	expo     *pipeline.Exposition
 	requests atomic.Uint64
 }
 
 // New wires the API routes over the manager.
 func New(mgr *Manager) *Server {
 	s := &Server{mgr: mgr, mux: http.NewServeMux()}
+	s.expo = newExposition(s)
 	s.mux.HandleFunc("GET /health", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/telemetry/recent", s.handleRecent)
 	s.mux.HandleFunc("POST /v1/nodes", s.handleCreate)
 	s.mux.HandleFunc("GET /v1/nodes", s.handleList)
 	s.mux.HandleFunc("GET /v1/nodes/{id}", s.handleGet)
@@ -189,6 +193,22 @@ func (s *Server) handleFaults(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, n.FaultInfo())
 }
 
+// handleRecent reports the newest samples the manager's in-memory ring
+// sink has retained from the pipeline, oldest first. ?max=N trims to the
+// newest N.
+func (s *Server) handleRecent(w http.ResponseWriter, r *http.Request) {
+	max := 0
+	if v := r.URL.Query().Get("max"); v != "" {
+		mx, err := strconv.Atoi(v)
+		if err != nil || mx < 1 {
+			writeError(w, fmt.Errorf("%w: bad max %q", ErrBadConfig, v))
+			return
+		}
+		max = mx
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"samples": s.mgr.Recent(max)})
+}
+
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if err := s.mgr.Delete(id); err != nil {
@@ -234,7 +254,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
-	enc := json.NewEncoder(w)
+	enc := pipeline.NewStreamEncoder(w)
 	sent := 0
 	for {
 		select {

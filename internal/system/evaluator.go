@@ -238,6 +238,7 @@ func (e *Evaluator) dynamic(now time.Duration) Eval {
 		Rates:      e.rates,
 		PerAppSpin: e.perAppSpin,
 		PerAppBW:   e.perAppBW,
+		Loads:      e.loads,
 	}
 	if n == 0 {
 		ev.PowerTotal = p.PowerInto(e.powerSocket, cfg, nil)

@@ -50,6 +50,9 @@ type Eval struct {
 	// PerAppSpin and PerAppBW break SpinFrac and MemBWGBs down per app.
 	PerAppSpin []float64
 	PerAppBW   []float64
+	// Loads are the per-socket activity summaries the power model was
+	// evaluated under — the inputs zone-level power breakdowns need.
+	Loads []machine.SocketLoad
 }
 
 // Evaluate computes the steady behaviour of apps on platform p under
@@ -70,6 +73,7 @@ func (e Eval) Clone() Eval {
 	e.PowerSocket = append([]float64(nil), e.PowerSocket...)
 	e.PerAppSpin = append([]float64(nil), e.PerAppSpin...)
 	e.PerAppBW = append([]float64(nil), e.PerAppBW...)
+	e.Loads = append([]machine.SocketLoad(nil), e.Loads...)
 	return e
 }
 

@@ -3,6 +3,7 @@ package telemetry
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Fanout broadcasts values to any number of subscribers, each behind its
@@ -14,6 +15,15 @@ type Fanout[T any] struct {
 	mu     sync.Mutex
 	subs   map[*Subscriber[T]]struct{}
 	closed bool
+
+	// total counts drops across every subscriber, surviving Cancel — the
+	// exporter's pupil_stream_dropped_total source.
+	total atomic.Uint64
+
+	// Rate-limited lagging-consumer warning, installed with SetLagWarn.
+	warnMin  time.Duration
+	warnFn   func(totalDropped uint64)
+	lastWarn time.Time
 }
 
 // Subscriber receives published values over a bounded channel.
@@ -72,13 +82,45 @@ func (sub *Subscriber[T]) offer(v T) {
 	select {
 	case <-sub.ch:
 		sub.dropped.Add(1)
+		sub.f.noteDrop()
 	default:
 	}
 	select {
 	case sub.ch <- v:
 	default:
 		sub.dropped.Add(1)
+		sub.f.noteDrop()
 	}
+}
+
+// noteDrop accounts one lost value and fires the lag warning at most once
+// per warnMin. Called with f.mu held (offer only runs under Publish).
+func (f *Fanout[T]) noteDrop() {
+	n := f.total.Add(1)
+	if f.warnFn == nil {
+		return
+	}
+	now := time.Now()
+	if now.Sub(f.lastWarn) < f.warnMin {
+		return
+	}
+	f.lastWarn = now
+	f.warnFn(n)
+}
+
+// TotalDropped reports values lost across every subscriber this fan-out
+// ever had, including cancelled ones.
+func (f *Fanout[T]) TotalDropped() uint64 { return f.total.Load() }
+
+// SetLagWarn installs a callback fired (at most once per min) when a
+// subscriber falls behind and loses a value; it receives the lifetime
+// drop total. The callback runs on the publisher's goroutine under the
+// fan-out lock and must not call back into the fan-out or block.
+func (f *Fanout[T]) SetLagWarn(min time.Duration, fn func(totalDropped uint64)) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.warnMin = min
+	f.warnFn = fn
 }
 
 // Subscribers reports the number of active subscribers.

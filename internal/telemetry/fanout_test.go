@@ -3,6 +3,7 @@ package telemetry
 import (
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestFanoutDeliversInOrder(t *testing.T) {
@@ -113,4 +114,53 @@ func TestFanoutConcurrent(t *testing.T) {
 	pubs.Wait()
 	f.Close() // unblocks the readers
 	readers.Wait()
+}
+
+// TestFanoutTotalDroppedSurvivesCancel: the fan-out-level drop counter
+// keeps accumulating across subscribers and outlives their cancellation —
+// it backs the exporter's pupil_stream_dropped_total.
+func TestFanoutTotalDroppedSurvivesCancel(t *testing.T) {
+	f := NewFanout[int]()
+	sub := f.Subscribe(1)
+	for i := 0; i < 4; i++ {
+		f.Publish(i)
+	}
+	if sub.Dropped() == 0 {
+		t.Fatal("buffer-1 subscriber saw no drops after 4 publishes")
+	}
+	perSub := sub.Dropped()
+	if got := f.TotalDropped(); got != perSub {
+		t.Errorf("TotalDropped = %d, want %d", got, perSub)
+	}
+	sub.Cancel()
+	if got := f.TotalDropped(); got != perSub {
+		t.Errorf("TotalDropped after Cancel = %d, want %d", got, perSub)
+	}
+	f.Close()
+}
+
+// TestFanoutLagWarnRateLimited: a burst of drops fires the installed
+// warning once per rate-limit window, with the lifetime total.
+func TestFanoutLagWarnRateLimited(t *testing.T) {
+	f := NewFanout[int]()
+	var warns int
+	var lastTotal uint64
+	f.SetLagWarn(time.Hour, func(total uint64) {
+		warns++
+		lastTotal = total
+	})
+	sub := f.Subscribe(1)
+	for i := 0; i < 100; i++ {
+		f.Publish(i)
+	}
+	if sub.Dropped() < 2 {
+		t.Fatalf("Dropped = %d, want a burst", sub.Dropped())
+	}
+	if warns != 1 {
+		t.Errorf("warn fired %d times in one window, want 1", warns)
+	}
+	if lastTotal == 0 {
+		t.Error("warn reported a zero drop total")
+	}
+	f.Close()
 }
