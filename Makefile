@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test test-short race bench bench-baseline bench-sweep
+.PHONY: check fmt vet build test test-short race bench bench-baseline bench-scale bench-sweep
 
 # check is the CI gate: formatting, static analysis, build, and the full
 # test suite under the race detector.
@@ -28,10 +28,18 @@ race:
 	$(GO) test -race ./...
 
 # bench runs the hot-path suite (tick, session-advance, sweep-cell,
-# server-tick, cluster-epoch) best-of-3 and gates it against the committed
-# baseline: >10% time/op growth or any allocs/op growth past the slack fails.
+# server-tick, cluster-epoch flat and at 100 hierarchical nodes) best-of-3
+# and gates it against the committed baseline: >10% time/op growth or any
+# allocs/op growth past the slack fails.
 bench:
 	$(GO) run ./cmd/bench -baseline BENCH_tick.json
+
+# bench-scale proves the fleet-scale claim outside the gate: one epoch of
+# the 1000- and 10000-node hierarchical clusters (the 10k variant must stay
+# under 1 s/op — TestClusterEpoch10kRealTime pins the same bound).
+bench-scale:
+	$(GO) test -bench 'BenchmarkClusterEpoch(1k|10k)$$' -benchtime 5x \
+		-run '^$$' ./internal/perf
 
 # bench-baseline re-measures and rewrites the committed baseline. Run on a
 # quiet machine and commit the diff together with the change that moved it.

@@ -37,7 +37,7 @@ import (
 var experimentNames = []string{
 	"table1", "table2", "fig1", "table3", "fig3", "fig4", "fig5",
 	"table4", "table5", "fig6", "table6", "fig7", "sensitivity",
-	"eas", "fig8", "chaos", "cluster",
+	"eas", "fig8", "chaos", "cluster", "hierarchy",
 }
 
 func main() {
@@ -205,6 +205,16 @@ func main() {
 			fatal(err)
 		}
 		emit("cluster", t, *csvDir)
+	}
+	if want("hierarchy") {
+		if _, err := experiment.HierarchyOpts(ctx, cfg, opts("hierarchy grid")); err != nil {
+			fatal(err)
+		}
+		t, err := experiment.TableHierarchy(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		emit("hierarchy", t, *csvDir)
 	}
 	fmt.Fprintf(os.Stderr, "reproduction completed in %v (parallel=%d)\n",
 		time.Since(start).Round(time.Millisecond), sweep.Workers(*parallel))

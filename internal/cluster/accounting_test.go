@@ -82,9 +82,9 @@ type spyPolicy struct {
 
 func (s *spyPolicy) Name() string { return "spy" }
 
-func (s *spyPolicy) Rebalance(assigned, meanPower []float64) []float64 {
+func (s *spyPolicy) Rebalance(next, assigned, meanPower []float64) {
 	s.observed = append(s.observed, append([]float64(nil), meanPower...))
-	return append([]float64(nil), assigned...)
+	copy(next, assigned)
 }
 
 // Regression: Step used to window demand over the configured epoch even
@@ -289,7 +289,8 @@ func TestProportionalSharePolicyMechanics(t *testing.T) {
 	p := ProportionalSharePolicy{MinShareFrac: 0.5, Smoothing: 1}
 	assigned := []float64{100, 100}
 	meanPower := []float64{90, 30}
-	next := p.Rebalance(assigned, meanPower)
+	next := make([]float64, len(assigned))
+	p.Rebalance(next, assigned, meanPower)
 	if next[0] <= next[1] {
 		t.Errorf("higher-demand node did not get the larger share: %v", next)
 	}
@@ -301,20 +302,20 @@ func TestProportionalSharePolicyMechanics(t *testing.T) {
 
 	// Max-starvation bound: a node with (near-)zero demand keeps
 	// MinShareFrac of its even share.
-	next = p.Rebalance([]float64{100, 100}, []float64{100, 0})
+	p.Rebalance(next, []float64{100, 100}, []float64{100, 0})
 	if next[1] < 50-1e-9 {
 		t.Errorf("starved node squeezed to %.2f W, bound is 50 W", next[1])
 	}
 
 	// Smoothing halves the gap instead of jumping.
 	smooth := ProportionalSharePolicy{MinShareFrac: 0.5, Smoothing: 0.5}
-	next = smooth.Rebalance([]float64{100, 100}, []float64{90, 30})
+	smooth.Rebalance(next, []float64{100, 100}, []float64{90, 30})
 	if math.Abs(next[0]-125) > 1e-9 || math.Abs(next[1]-75) > 1e-9 {
 		t.Errorf("smoothed targets %v, want [125 75]", next)
 	}
 
 	// No demand signal at all: keep the assignment.
-	next = ProportionalSharePolicy{}.Rebalance([]float64{80, 120}, []float64{0, 0})
+	ProportionalSharePolicy{}.Rebalance(next, []float64{80, 120}, []float64{0, 0})
 	if next[0] != 80 || next[1] != 120 {
 		t.Errorf("zero-demand rebalance changed caps: %v", next)
 	}

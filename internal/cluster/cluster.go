@@ -10,18 +10,20 @@
 // shifting"). Each node here is a full simulated machine running one of
 // this repository's node-level controllers (RAPL, PUPiL, ...), stepped in
 // lockstep epochs with the coordinator redistributing between epochs.
+//
+// At fleet scale the coordinator becomes a tree of budget domains
+// (hierarchy.go): the datacenter budget splits across rows, row budgets
+// across racks, rack budgets across nodes — the same policy machinery at
+// every level, with leaf shards stepping their node sessions concurrently
+// and only the periodic parent rebalance synchronizing.
 package cluster
 
 import (
-	"context"
-	"errors"
-	"fmt"
 	"time"
 
 	"pupil/internal/core"
 	"pupil/internal/driver"
 	"pupil/internal/machine"
-	"pupil/internal/sweep"
 	"pupil/internal/workload"
 )
 
@@ -32,158 +34,6 @@ type NodeSpec struct {
 	Specs    []workload.Spec
 	// NewController builds the node-level capper; it is invoked once.
 	NewController func(p *machine.Platform) core.Controller
-}
-
-// Policy decides the next per-node cap assignment.
-type Policy interface {
-	Name() string
-	// Rebalance returns the next assignment given each node's current
-	// assignment and its mean power over the last epoch. The returned
-	// slice must be the same length; the coordinator rescales it to the
-	// global budget and enforces floors.
-	Rebalance(assigned, meanPower []float64) []float64
-}
-
-// EvenPolicy is the static baseline: every node gets budget/N forever.
-type EvenPolicy struct{}
-
-// Name implements Policy.
-func (EvenPolicy) Name() string { return "even" }
-
-// Rebalance implements Policy.
-func (EvenPolicy) Rebalance(assigned, _ []float64) []float64 {
-	return append([]float64(nil), assigned...)
-}
-
-// DemandShiftPolicy moves budget from nodes with headroom to nodes pegged
-// at their cap, a configurable fraction per epoch.
-type DemandShiftPolicy struct {
-	// ShiftFrac is the fraction of a donor's headroom moved per epoch
-	// (default 0.5).
-	ShiftFrac float64
-	// PeggedFrac marks a node hungry when its mean power exceeds this
-	// fraction of its cap (default 0.94).
-	PeggedFrac float64
-}
-
-// Name implements Policy.
-func (DemandShiftPolicy) Name() string { return "demand-shift" }
-
-// Rebalance implements Policy.
-func (p DemandShiftPolicy) Rebalance(assigned, meanPower []float64) []float64 {
-	shift := p.ShiftFrac
-	if shift <= 0 {
-		shift = 0.5
-	}
-	pegged := p.PeggedFrac
-	if pegged <= 0 {
-		pegged = 0.94
-	}
-	next := append([]float64(nil), assigned...)
-	var hungry []int
-	for i := range next {
-		if meanPower[i] >= assigned[i]*pegged {
-			hungry = append(hungry, i)
-		}
-	}
-	if len(hungry) == 0 || len(hungry) == len(next) {
-		// Nobody to shift from or to; keep the assignment.
-		return next
-	}
-	pool := 0.0
-	for i := range next {
-		if meanPower[i] >= assigned[i]*pegged {
-			continue
-		}
-		// Donor: release part of the headroom, keeping a margin so its
-		// own transients stay covered.
-		donate := (assigned[i] - meanPower[i]) * shift
-		if donate > 0 {
-			next[i] -= donate
-			pool += donate
-		}
-	}
-	if pool <= 0 {
-		return next
-	}
-	per := pool / float64(len(hungry))
-	for _, i := range hungry {
-		next[i] += per
-	}
-	return next
-}
-
-// ProportionalSharePolicy reassigns budget in proportion to each node's
-// observed demand (its mean power over the last step), FastCap-style: the
-// watts a node actually drew are its weight in the next split, so budget
-// flows continuously toward the nodes converting it into work. A
-// max-starvation bound keeps any node from being squeezed below a fixed
-// fraction of its fair (even) share no matter how small its demand, so an
-// idle node always retains enough budget to ramp back up and register
-// demand again.
-type ProportionalSharePolicy struct {
-	// MinShareFrac is the starvation bound: no node's target falls below
-	// MinShareFrac x (total/N) (default 0.5, clamped to [0, 1]).
-	MinShareFrac float64
-	// Smoothing is the fraction of the gap between the current assignment
-	// and the demand-proportional target closed per epoch (default 0.5;
-	// 1 jumps straight to the target).
-	Smoothing float64
-}
-
-// Name implements Policy.
-func (ProportionalSharePolicy) Name() string { return "proportional" }
-
-// Rebalance implements Policy.
-func (p ProportionalSharePolicy) Rebalance(assigned, meanPower []float64) []float64 {
-	minFrac := p.MinShareFrac
-	if minFrac <= 0 {
-		minFrac = 0.5
-	}
-	if minFrac > 1 {
-		minFrac = 1
-	}
-	alpha := p.Smoothing
-	if alpha <= 0 {
-		alpha = 0.5
-	}
-	if alpha > 1 {
-		alpha = 1
-	}
-	next := append([]float64(nil), assigned...)
-	total, demand := 0.0, 0.0
-	for i := range assigned {
-		total += assigned[i]
-		demand += meanPower[i]
-	}
-	if total <= 0 || demand <= 0 {
-		// No budget to split or no demand signal yet (first epoch of a
-		// fresh cluster): keep the assignment.
-		return next
-	}
-	bound := total / float64(len(assigned)) * minFrac
-	for i := range next {
-		target := total * meanPower[i] / demand
-		if target < bound {
-			target = bound
-		}
-		next[i] += alpha * (target - next[i])
-	}
-	return next
-}
-
-// PolicyByName resolves a policy selector ("even", "demand-shift",
-// "proportional" — each policy's Name) to its default-configured policy.
-func PolicyByName(name string) (Policy, error) {
-	switch name {
-	case "", EvenPolicy{}.Name():
-		return EvenPolicy{}, nil
-	case DemandShiftPolicy{}.Name():
-		return DemandShiftPolicy{}, nil
-	case ProportionalSharePolicy{}.Name():
-		return ProportionalSharePolicy{}, nil
-	}
-	return nil, fmt.Errorf("cluster: unknown policy %q (want even, demand-shift, or proportional)", name)
 }
 
 // Config drives a cluster run.
@@ -202,6 +52,9 @@ type Config struct {
 	// never affects results — sessions are independent and demand is
 	// collected position-indexed — only wall-clock time.
 	Parallel int
+	// Topology optionally groups the nodes into hierarchical budget
+	// domains (racks, rows); the zero value keeps the flat coordinator.
+	Topology Topology
 }
 
 // NodeResult is one node's outcome.
@@ -219,262 +72,18 @@ type Result struct {
 	Nodes  []NodeResult
 	// CapTrace records each node's assigned cap at every epoch boundary.
 	CapTrace [][]float64
+	// DomainNames and DomainTrace mirror CapTrace one level up for
+	// hierarchical clusters: DomainTrace[k][j] is the budget delegated to
+	// domain DomainNames[j] when CapTrace row k was recorded, so the
+	// budget history is complete at every tree level. Both are nil for a
+	// flat cluster.
+	DomainNames []string
+	DomainTrace [][]float64
 	// TotalRate sums the nodes' mean rates over their final epochs.
 	TotalRate float64
 	// TotalPower sums mean powers over the final epoch; it must respect
 	// the budget.
 	TotalPower float64
-}
-
-// Coordinator is a live cluster: the sessions, the current assignment, and
-// the budget, advanced one epoch at a time. Where Run executes a fixed
-// scenario to completion, a Coordinator lets a serving layer step the
-// cluster indefinitely and reassign caps — the global budget or an
-// individual node's share — while it runs.
-type Coordinator struct {
-	cfg      Config
-	sessions []*driver.Session
-	assigned []float64
-	capTrace [][]float64
-	budget   float64
-	floor    float64
-	now      time.Duration
-}
-
-// NewCoordinator validates the configuration and builds the cluster's
-// sessions without advancing time. Duration is ignored; callers step
-// explicitly.
-func NewCoordinator(cfg Config) (*Coordinator, error) {
-	n := len(cfg.Nodes)
-	if n == 0 {
-		return nil, errors.New("cluster: no nodes")
-	}
-	if err := driver.ValidateCap(cfg.BudgetWatts); err != nil {
-		return nil, fmt.Errorf("cluster: budget: %w", err)
-	}
-	if cfg.Epoch <= 0 {
-		cfg.Epoch = 5 * time.Second
-	}
-	if cfg.Policy == nil {
-		cfg.Policy = EvenPolicy{}
-	}
-	floor := cfg.FloorWatts
-	if floor <= 0 {
-		floor = 25
-	}
-	if cfg.BudgetWatts < floor*float64(n) {
-		return nil, fmt.Errorf("cluster: budget %.0f W cannot cover %d nodes at the %.0f W floor",
-			cfg.BudgetWatts, n, floor)
-	}
-
-	c := &Coordinator{
-		cfg:      cfg,
-		sessions: make([]*driver.Session, n),
-		assigned: make([]float64, n),
-		budget:   cfg.BudgetWatts,
-		floor:    floor,
-	}
-	for i, spec := range cfg.Nodes {
-		if spec.Platform == nil || spec.NewController == nil {
-			return nil, fmt.Errorf("cluster: node %d (%s) missing platform or controller", i, spec.Name)
-		}
-		c.assigned[i] = cfg.BudgetWatts / float64(n)
-		s, err := driver.NewSession(driver.Scenario{
-			Platform:   spec.Platform,
-			Specs:      spec.Specs,
-			CapWatts:   c.assigned[i],
-			Controller: spec.NewController(spec.Platform),
-			Seed:       cfg.Seed ^ (uint64(i) * 0x9e3779b97f4a7c15),
-		})
-		if err != nil {
-			return nil, fmt.Errorf("cluster: node %s: %w", spec.Name, err)
-		}
-		c.sessions[i] = s
-	}
-	c.capTrace = append(c.capTrace, append([]float64(nil), c.assigned...))
-	return c, nil
-}
-
-// Now returns the cluster's simulated time.
-func (c *Coordinator) Now() time.Duration { return c.now }
-
-// Budget returns the current global power budget.
-func (c *Coordinator) Budget() float64 { return c.budget }
-
-// Assignments returns a copy of the current per-node cap assignment.
-func (c *Coordinator) Assignments() []float64 {
-	return append([]float64(nil), c.assigned...)
-}
-
-// SetBudget changes the global power budget live. The new budget is
-// enforced immediately: the current assignment is rescaled to sum to it
-// (respecting the floor) and reprogrammed into every node.
-func (c *Coordinator) SetBudget(watts float64) error {
-	if err := driver.ValidateCap(watts); err != nil {
-		return fmt.Errorf("cluster: budget: %w", err)
-	}
-	if watts < c.floor*float64(len(c.sessions)) {
-		return fmt.Errorf("cluster: budget %.0f W cannot cover %d nodes at the %.0f W floor: %w",
-			watts, len(c.sessions), c.floor, driver.ErrInvalidCap)
-	}
-	c.budget = watts
-	next := append([]float64(nil), c.assigned...)
-	normalize(next, c.budget, c.floor)
-	return c.apply(next)
-}
-
-// SetNodeCap reassigns one node's cap directly, bypassing the policy; the
-// difference is taken from (or returned to) the other nodes on the next
-// Step's normalization. Like every applied assignment change, the
-// reassignment is recorded in CapTrace.
-func (c *Coordinator) SetNodeCap(i int, watts float64) error {
-	if i < 0 || i >= len(c.sessions) {
-		return fmt.Errorf("cluster: no node %d", i)
-	}
-	if err := driver.ValidateCap(watts); err != nil {
-		return err
-	}
-	if watts < c.floor {
-		return fmt.Errorf("cluster: cap %.0f W below the %.0f W floor: %w",
-			watts, c.floor, driver.ErrInvalidCap)
-	}
-	if err := c.sessions[i].SetCap(watts); err != nil {
-		return err
-	}
-	c.assigned[i] = watts
-	c.capTrace = append(c.capTrace, append([]float64(nil), c.assigned...))
-	return nil
-}
-
-// Step advances every session by d of simulated time, then observes demand
-// and rebalances the assignment through the policy.
-func (c *Coordinator) Step(d time.Duration) error {
-	return c.StepContext(context.Background(), d)
-}
-
-// StepContext advances every session by d of simulated time on a bounded
-// worker pool (Config.Parallel workers), then observes demand and
-// rebalances the assignment through the policy. Node sessions are
-// independent and per-node demand is collected into its position, so the
-// outcome is identical at any parallelism; cancellation reaches every
-// in-flight session between kernel ticks.
-//
-// Demand is measured over the actual elapsed step — not the configured
-// epoch — so a partial step (Run's final remainder, a serving layer
-// ticking faster than the epoch) rebalances on exactly the samples it
-// simulated rather than mixing in stale pre-step history.
-func (c *Coordinator) StepContext(ctx context.Context, d time.Duration) error {
-	if d <= 0 {
-		return fmt.Errorf("cluster: step %v must be positive", d)
-	}
-	cells := make([]sweep.Cell[float64], len(c.sessions))
-	for i, s := range c.sessions {
-		i, s := i, s
-		cells[i] = sweep.Cell[float64]{
-			Label: c.cfg.Nodes[i].Name,
-			Run: func(ctx context.Context) (float64, error) {
-				if err := s.AdvanceContext(ctx, d); err != nil {
-					return 0, err
-				}
-				return s.MeanPower(d), nil
-			},
-		}
-	}
-	meanPower, err := sweep.Run(ctx, cells, sweep.Options{Parallel: c.cfg.Parallel})
-	if err != nil {
-		// A cancelled or failed step leaves the nodes mid-epoch and
-		// possibly out of lockstep; the coordinator is only good for
-		// teardown afterwards.
-		return fmt.Errorf("cluster: step: %w", err)
-	}
-	c.now += d
-	next := c.cfg.Policy.Rebalance(c.assigned, meanPower)
-	normalize(next, c.budget, c.floor)
-	return c.apply(next)
-}
-
-// apply programs an assignment into the sessions and records it.
-func (c *Coordinator) apply(next []float64) error {
-	for i, s := range c.sessions {
-		if next[i] != c.assigned[i] {
-			if err := s.SetCap(next[i]); err != nil {
-				return err
-			}
-		}
-		c.assigned[i] = next[i]
-	}
-	c.capTrace = append(c.capTrace, append([]float64(nil), c.assigned...))
-	return nil
-}
-
-// NodeSnapshot is one node's slice of a cluster Snapshot.
-type NodeSnapshot struct {
-	Name string
-	// CapWatts is the node's current assigned cap.
-	CapWatts float64
-	// MeanPower and MeanRate average the node's true power draw and work
-	// rate over the trailing epoch.
-	MeanPower float64
-	MeanRate  float64
-}
-
-// Snapshot is an instantaneous, copyable view of the cluster — the
-// introspection hook a serving layer reads between Steps without paying
-// for full per-node Results.
-type Snapshot struct {
-	Now        time.Duration
-	Policy     string
-	Budget     float64
-	Nodes      []NodeSnapshot
-	TotalPower float64
-	TotalRate  float64
-}
-
-// Snapshot captures the cluster's current state; means window over the
-// trailing epoch.
-func (c *Coordinator) Snapshot() Snapshot {
-	sn := Snapshot{
-		Now:    c.now,
-		Policy: c.cfg.Policy.Name(),
-		Budget: c.budget,
-		Nodes:  make([]NodeSnapshot, len(c.sessions)),
-	}
-	for i, s := range c.sessions {
-		ns := NodeSnapshot{
-			Name:      c.cfg.Nodes[i].Name,
-			CapWatts:  c.assigned[i],
-			MeanPower: s.MeanPower(c.cfg.Epoch),
-			MeanRate:  s.MeanRate(c.cfg.Epoch),
-		}
-		sn.Nodes[i] = ns
-		sn.TotalPower += ns.MeanPower
-		sn.TotalRate += ns.MeanRate
-	}
-	return sn
-}
-
-// NodeCount reports the number of nodes in the cluster.
-func (c *Coordinator) NodeCount() int { return len(c.sessions) }
-
-// Epoch returns the coordinator's configured epoch.
-func (c *Coordinator) Epoch() time.Duration { return c.cfg.Epoch }
-
-// Result assembles the cluster outcome over everything simulated so far.
-func (c *Coordinator) Result() *Result {
-	res := &Result{Policy: c.cfg.Policy.Name(), CapTrace: c.capTrace}
-	for i, s := range c.sessions {
-		nr := NodeResult{
-			Name:      c.cfg.Nodes[i].Name,
-			FinalCap:  c.assigned[i],
-			MeanPower: s.MeanPower(c.cfg.Epoch),
-			MeanRate:  s.MeanRate(c.cfg.Epoch),
-			Result:    s.Result(),
-		}
-		res.Nodes = append(res.Nodes, nr)
-		res.TotalRate += nr.MeanRate
-		res.TotalPower += nr.MeanPower
-	}
-	return res
 }
 
 // Run executes the cluster scenario to completion.

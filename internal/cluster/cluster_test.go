@@ -153,7 +153,8 @@ func TestDemandShiftPolicyMechanics(t *testing.T) {
 	p := DemandShiftPolicy{ShiftFrac: 0.5, PeggedFrac: 0.94}
 	assigned := []float64{100, 100}
 	meanPower := []float64{50, 99} // node 0 has headroom, node 1 pegged
-	next := p.Rebalance(assigned, meanPower)
+	next := make([]float64, len(assigned))
+	p.Rebalance(next, assigned, meanPower)
 	if next[0] >= 100 {
 		t.Errorf("donor kept its cap: %v", next)
 	}
@@ -169,7 +170,8 @@ func TestDemandShiftNoHungryNodes(t *testing.T) {
 	p := DemandShiftPolicy{}
 	assigned := []float64{100, 100}
 	meanPower := []float64{50, 50}
-	next := p.Rebalance(assigned, meanPower)
+	next := make([]float64, len(assigned))
+	p.Rebalance(next, assigned, meanPower)
 	for i := range next {
 		if next[i] != assigned[i] {
 			t.Errorf("rebalance with no hungry nodes changed caps: %v", next)

@@ -1,0 +1,480 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"pupil/internal/driver"
+	"pupil/internal/sweep"
+)
+
+// Coordinator is a live cluster: the sessions, the current assignment, and
+// the budget, advanced one epoch at a time. Where Run executes a fixed
+// scenario to completion, a Coordinator lets a serving layer step the
+// cluster indefinitely and reassign caps — the global budget or an
+// individual node's share — while it runs.
+//
+// With a hierarchical Topology the coordinator maintains a tree of budget
+// domains: the global budget is delegated datacenter → row → rack, each
+// level re-split by the same policy over its children's aggregated demand,
+// and each rack splits its delegated budget across its member nodes every
+// epoch. A flat coordinator is the degenerate single-domain tree and
+// behaves exactly as before.
+type Coordinator struct {
+	cfg      Config
+	sessions []*driver.Session
+	assigned []float64
+	capTrace [][]float64
+	budget   float64
+	floor    float64
+	now      time.Duration
+
+	// Budget-domain tree (single root domain when flat).
+	root        *domain
+	domains     []*domain
+	hier        bool
+	parentEvery int
+	epochs      uint64
+	domainTrace [][]float64
+
+	// Step scratch, allocated once and reused every epoch: the persistent
+	// sweep cells advance each session and deposit its demand into
+	// demand[i] (position-indexed, so no locking and no effect from
+	// parallelism); next is the assignment under construction. stepD is
+	// written before the sweep dispatches and only read by cells it
+	// started, so it needs no synchronization.
+	cells  []sweep.Cell[struct{}]
+	demand []float64
+	next   []float64
+	stepD  time.Duration
+}
+
+// NewCoordinator validates the configuration and builds the cluster's
+// sessions without advancing time. Duration is ignored; callers step
+// explicitly.
+func NewCoordinator(cfg Config) (*Coordinator, error) {
+	n := len(cfg.Nodes)
+	if n == 0 {
+		return nil, errors.New("cluster: no nodes")
+	}
+	if err := driver.ValidateCap(cfg.BudgetWatts); err != nil {
+		return nil, fmt.Errorf("cluster: budget: %w", err)
+	}
+	if cfg.Epoch <= 0 {
+		cfg.Epoch = 5 * time.Second
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = EvenPolicy{}
+	}
+	floor := cfg.FloorWatts
+	if floor <= 0 {
+		floor = 25
+	}
+	if cfg.BudgetWatts < floor*float64(n) {
+		return nil, fmt.Errorf("cluster: budget %.0f W cannot cover %d nodes at the %.0f W floor",
+			cfg.BudgetWatts, n, floor)
+	}
+	root, domains, err := buildTree(n, cfg.Topology)
+	if err != nil {
+		return nil, err
+	}
+
+	c := &Coordinator{
+		cfg:         cfg,
+		sessions:    make([]*driver.Session, n),
+		assigned:    make([]float64, n),
+		budget:      cfg.BudgetWatts,
+		floor:       floor,
+		root:        root,
+		domains:     domains,
+		hier:        cfg.Topology.Hierarchical(),
+		parentEvery: cfg.Topology.RebalanceEvery,
+		demand:      make([]float64, n),
+		next:        make([]float64, n),
+	}
+	if c.parentEvery <= 0 {
+		c.parentEvery = 1
+	}
+	for i, spec := range cfg.Nodes {
+		if spec.Platform == nil || spec.NewController == nil {
+			return nil, fmt.Errorf("cluster: node %d (%s) missing platform or controller", i, spec.Name)
+		}
+		c.assigned[i] = cfg.BudgetWatts / float64(n)
+		s, err := driver.NewSession(driver.Scenario{
+			Platform:   spec.Platform,
+			Specs:      spec.Specs,
+			CapWatts:   c.assigned[i],
+			Controller: spec.NewController(spec.Platform),
+			Seed:       cfg.Seed ^ (uint64(i) * 0x9e3779b97f4a7c15),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("cluster: node %s: %w", spec.Name, err)
+		}
+		c.sessions[i] = s
+	}
+	// Seed the domain budgets from the even initial split — exact
+	// per-node-share multiples, so children sum to their parents — and the
+	// per-child fairness floors.
+	per := cfg.BudgetWatts / float64(n)
+	for _, d := range c.domains {
+		d.budget = per * float64(d.nodes())
+	}
+	c.root.budget = cfg.BudgetWatts
+	seedFloors(c.domains, floor)
+
+	// Persistent sweep cells: one per session for the whole coordinator
+	// lifetime. Each advances its session by the pending stepD and writes
+	// the observed demand into its slot.
+	c.cells = make([]sweep.Cell[struct{}], n)
+	for i := range c.cells {
+		i, s := i, c.sessions[i]
+		c.cells[i] = sweep.Cell[struct{}]{
+			Label: cfg.Nodes[i].Name,
+			Run: func(ctx context.Context) (struct{}, error) {
+				if err := s.AdvanceContext(ctx, c.stepD); err != nil {
+					return struct{}{}, err
+				}
+				c.demand[i] = s.MeanPower(c.stepD)
+				return struct{}{}, nil
+			},
+		}
+	}
+	c.record()
+	return c, nil
+}
+
+// Now returns the cluster's simulated time.
+func (c *Coordinator) Now() time.Duration { return c.now }
+
+// Budget returns the current global power budget.
+func (c *Coordinator) Budget() float64 { return c.budget }
+
+// Assignments returns a copy of the current per-node cap assignment.
+func (c *Coordinator) Assignments() []float64 {
+	return append([]float64(nil), c.assigned...)
+}
+
+// SetBudget changes the global power budget live. The new budget is
+// enforced immediately: every tree level re-splits it top-down over the
+// children's current shares (respecting the level's floors), and the
+// resulting assignment is reprogrammed into every node.
+func (c *Coordinator) SetBudget(watts float64) error {
+	if err := driver.ValidateCap(watts); err != nil {
+		return fmt.Errorf("cluster: budget: %w", err)
+	}
+	if watts < c.floor*float64(len(c.sessions)) {
+		return fmt.Errorf("cluster: budget %.0f W cannot cover %d nodes at the %.0f W floor: %w",
+			watts, len(c.sessions), c.floor, driver.ErrInvalidCap)
+	}
+	c.budget = watts
+	c.root.budget = watts
+	if c.hier {
+		// Top-down: each interior domain rescales its children's current
+		// budgets to its own new budget, floors respected; the leaves then
+		// rescale their member nodes the same way.
+		for _, d := range c.domains {
+			if d.leaf() {
+				continue
+			}
+			for j, ch := range d.children {
+				d.childBudget[j] = ch.budget
+			}
+			normalizeFloors(d.childBudget, d.budget, d.childFloor)
+			for j, ch := range d.children {
+				ch.budget = d.childBudget[j]
+			}
+		}
+		for _, d := range c.domains {
+			if !d.leaf() {
+				continue
+			}
+			copy(c.next[d.lo:d.hi], c.assigned[d.lo:d.hi])
+			normalize(c.next[d.lo:d.hi], d.budget, c.floor)
+		}
+		return c.apply(c.next)
+	}
+	copy(c.next, c.assigned)
+	normalize(c.next, c.budget, c.floor)
+	return c.apply(c.next)
+}
+
+// SetNodeCap reassigns one node's cap directly, bypassing the policy; the
+// difference is taken from (or returned to) the node's siblings on the
+// next Step's normalization of its leaf domain. Like every applied
+// assignment change, the reassignment is recorded in CapTrace.
+func (c *Coordinator) SetNodeCap(i int, watts float64) error {
+	if i < 0 || i >= len(c.sessions) {
+		return fmt.Errorf("cluster: no node %d", i)
+	}
+	if err := driver.ValidateCap(watts); err != nil {
+		return err
+	}
+	if watts < c.floor {
+		return fmt.Errorf("cluster: cap %.0f W below the %.0f W floor: %w",
+			watts, c.floor, driver.ErrInvalidCap)
+	}
+	if err := c.sessions[i].SetCap(watts); err != nil {
+		return err
+	}
+	c.assigned[i] = watts
+	c.record()
+	return nil
+}
+
+// Step advances every session by d of simulated time, then observes demand
+// and rebalances the assignment through the policy.
+func (c *Coordinator) Step(d time.Duration) error {
+	return c.StepContext(context.Background(), d)
+}
+
+// StepContext advances every session by d of simulated time on a bounded
+// worker pool (Config.Parallel workers), then observes demand and
+// rebalances the assignment through the policy — at every tree level for a
+// hierarchical cluster. Node sessions are independent and per-node demand
+// is collected into its position, so the outcome is identical at any
+// parallelism; cancellation reaches every in-flight session between kernel
+// ticks.
+//
+// Demand is measured over the actual elapsed step — not the configured
+// epoch — so a partial step (Run's final remainder, a serving layer
+// ticking faster than the epoch) rebalances on exactly what it simulated
+// rather than mixing in stale pre-step history.
+func (c *Coordinator) StepContext(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return fmt.Errorf("cluster: step %v must be positive", d)
+	}
+	c.stepD = d
+	if _, err := sweep.Run(ctx, c.cells, sweep.Options{Parallel: c.cfg.Parallel}); err != nil {
+		// A cancelled or failed step leaves the nodes mid-epoch and
+		// possibly out of lockstep; the coordinator is only good for
+		// teardown afterwards.
+		return fmt.Errorf("cluster: step: %w", err)
+	}
+	c.now += d
+	c.epochs++
+	c.rebalance()
+	return c.apply(c.next)
+}
+
+// rebalance recomputes the next assignment in c.next from the demand just
+// collected: aggregate demand bottom-up, re-split the interior budgets
+// top-down on the parent cadence, then split every leaf's budget across
+// its member nodes — the fast inner loop, every epoch.
+func (c *Coordinator) rebalance() {
+	if c.hier {
+		// c.domains is in breadth-first order, so a reverse walk visits
+		// children before parents (bottom-up) and a forward walk parents
+		// before children (top-down).
+		for i := len(c.domains) - 1; i >= 0; i-- {
+			d := c.domains[i]
+			sum := 0.0
+			if d.leaf() {
+				for j := d.lo; j < d.hi; j++ {
+					sum += c.demand[j]
+				}
+			} else {
+				for _, ch := range d.children {
+					sum += ch.demandSum
+				}
+			}
+			d.demandSum = sum
+		}
+		if c.epochs%uint64(c.parentEvery) == 0 {
+			for _, d := range c.domains {
+				if d.leaf() {
+					continue
+				}
+				for j, ch := range d.children {
+					d.childBudget[j] = ch.budget
+					d.childDemand[j] = ch.demandSum
+				}
+				c.cfg.Policy.Rebalance(d.childNext, d.childBudget, d.childDemand)
+				normalizeFloors(d.childNext, d.budget, d.childFloor)
+				for j, ch := range d.children {
+					ch.budget = d.childNext[j]
+				}
+			}
+		}
+	}
+	for _, d := range c.domains {
+		if !d.leaf() {
+			continue
+		}
+		c.cfg.Policy.Rebalance(c.next[d.lo:d.hi], c.assigned[d.lo:d.hi], c.demand[d.lo:d.hi])
+		normalize(c.next[d.lo:d.hi], d.budget, c.floor)
+	}
+}
+
+// apply programs an assignment into the sessions and records it.
+func (c *Coordinator) apply(next []float64) error {
+	for i, s := range c.sessions {
+		if next[i] != c.assigned[i] {
+			if err := s.SetCap(next[i]); err != nil {
+				return err
+			}
+		}
+		c.assigned[i] = next[i]
+	}
+	c.record()
+	return nil
+}
+
+// record appends the current assignment to CapTrace and, for hierarchical
+// clusters, the current per-domain budgets to DomainTrace — the two traces
+// stay row-aligned so every applied change is visible at every tree level.
+func (c *Coordinator) record() {
+	c.capTrace = append(c.capTrace, append([]float64(nil), c.assigned...))
+	if c.hier {
+		row := make([]float64, len(c.domains))
+		for i, d := range c.domains {
+			row[i] = d.budget
+		}
+		c.domainTrace = append(c.domainTrace, row)
+	}
+}
+
+// NodeSnapshot is one node's slice of a cluster Snapshot.
+type NodeSnapshot struct {
+	Name string
+	// CapWatts is the node's current assigned cap.
+	CapWatts float64
+	// MeanPower and MeanRate average the node's true power draw and work
+	// rate over the trailing epoch.
+	MeanPower float64
+	MeanRate  float64
+}
+
+// Snapshot is an instantaneous, copyable view of the cluster — the
+// introspection hook a serving layer reads between Steps without paying
+// for full per-node Results.
+type Snapshot struct {
+	Now        time.Duration
+	Policy     string
+	Budget     float64
+	Nodes      []NodeSnapshot
+	TotalPower float64
+	TotalRate  float64
+	// Domains carries the budget-domain tree in breadth-first order (root
+	// first); nil for a flat cluster.
+	Domains []DomainSnapshot
+}
+
+// Snapshot captures the cluster's current state; means window over the
+// trailing epoch.
+func (c *Coordinator) Snapshot() Snapshot {
+	sn := Snapshot{
+		Now:    c.now,
+		Policy: c.cfg.Policy.Name(),
+		Budget: c.budget,
+		Nodes:  make([]NodeSnapshot, len(c.sessions)),
+	}
+	for i, s := range c.sessions {
+		ns := NodeSnapshot{
+			Name:      c.cfg.Nodes[i].Name,
+			CapWatts:  c.assigned[i],
+			MeanPower: s.MeanPower(c.cfg.Epoch),
+			MeanRate:  s.MeanRate(c.cfg.Epoch),
+		}
+		sn.Nodes[i] = ns
+		sn.TotalPower += ns.MeanPower
+		sn.TotalRate += ns.MeanRate
+	}
+	if c.hier {
+		sn.Domains = make([]DomainSnapshot, len(c.domains))
+		for i, d := range c.domains {
+			sn.Domains[i] = c.domainSnapshot(d, sn.Nodes)
+		}
+	}
+	return sn
+}
+
+// domainSnapshot assembles one domain's view from the per-node snapshots.
+func (c *Coordinator) domainSnapshot(d *domain, nodes []NodeSnapshot) DomainSnapshot {
+	ds := DomainSnapshot{
+		Name:        d.name,
+		Level:       d.level,
+		BudgetWatts: d.budget,
+		Nodes:       d.nodes(),
+	}
+	if d.parent != nil {
+		ds.Parent = d.parent.name
+	}
+	fair := d.budget / float64(d.nodes())
+	minShare := math.Inf(1)
+	for j := d.lo; j < d.hi; j++ {
+		ds.MeanPowerWatts += nodes[j].MeanPower
+		if r := nodes[j].CapWatts / fair; r < minShare {
+			minShare = r
+		}
+	}
+	ds.FairShareMin = minShare
+	return ds
+}
+
+// GrowTraces preallocates every node's telemetry traces for d of further
+// simulated time, so a caller that knows its horizon keeps steady-state
+// epoch stepping free of per-node trace reallocation.
+func (c *Coordinator) GrowTraces(d time.Duration) {
+	for _, s := range c.sessions {
+		s.GrowTraces(d)
+	}
+}
+
+// NodeCount reports the number of nodes in the cluster.
+func (c *Coordinator) NodeCount() int { return len(c.sessions) }
+
+// Epoch returns the coordinator's configured epoch.
+func (c *Coordinator) Epoch() time.Duration { return c.cfg.Epoch }
+
+// Topology returns the coordinator's budget-domain topology (zero value
+// for a flat cluster).
+func (c *Coordinator) Topology() Topology { return c.cfg.Topology }
+
+// DomainCount reports the number of budget domains (1 for a flat cluster).
+func (c *Coordinator) DomainCount() int { return len(c.domains) }
+
+// NodeDomains returns each node's leaf (rack) domain name, index-aligned
+// with the node specs; nil for a flat cluster.
+func (c *Coordinator) NodeDomains() []string {
+	if !c.hier {
+		return nil
+	}
+	out := make([]string, len(c.sessions))
+	for _, d := range c.domains {
+		if !d.leaf() {
+			continue
+		}
+		for i := d.lo; i < d.hi; i++ {
+			out[i] = d.name
+		}
+	}
+	return out
+}
+
+// Result assembles the cluster outcome over everything simulated so far.
+func (c *Coordinator) Result() *Result {
+	res := &Result{Policy: c.cfg.Policy.Name(), CapTrace: c.capTrace}
+	if c.hier {
+		res.DomainNames = make([]string, len(c.domains))
+		for i, d := range c.domains {
+			res.DomainNames[i] = d.name
+		}
+		res.DomainTrace = c.domainTrace
+	}
+	for i, s := range c.sessions {
+		nr := NodeResult{
+			Name:      c.cfg.Nodes[i].Name,
+			FinalCap:  c.assigned[i],
+			MeanPower: s.MeanPower(c.cfg.Epoch),
+			MeanRate:  s.MeanRate(c.cfg.Epoch),
+			Result:    s.Result(),
+		}
+		res.Nodes = append(res.Nodes, nr)
+		res.TotalRate += nr.MeanRate
+		res.TotalPower += nr.MeanPower
+	}
+	return res
+}

@@ -1,0 +1,164 @@
+package cluster
+
+import "fmt"
+
+// Policy decides the next budget split at one level of the domain tree.
+//
+// The same policy machinery runs at every level: at a leaf (rack) it
+// splits the rack budget across member nodes on their observed demand; at
+// an interior domain it splits the domain budget across child domains on
+// their aggregated demand. The coordinator rescales whatever the policy
+// writes to the level's budget and enforces the level's floors, so a
+// policy only expresses preference, never accounting.
+type Policy interface {
+	Name() string
+	// Rebalance writes the next assignment into next, given each child's
+	// current assignment and its mean power over the last epoch. All three
+	// slices have equal length; next is scratch owned by the coordinator
+	// and reused across epochs, so implementations must fully overwrite it
+	// and must not retain it.
+	Rebalance(next, assigned, meanPower []float64)
+}
+
+// EvenPolicy is the static baseline: every child keeps its current share
+// (which NewCoordinator seeds evenly), so the split never reacts to demand.
+type EvenPolicy struct{}
+
+// Name implements Policy.
+func (EvenPolicy) Name() string { return "even" }
+
+// Rebalance implements Policy.
+func (EvenPolicy) Rebalance(next, assigned, _ []float64) {
+	copy(next, assigned)
+}
+
+// DemandShiftPolicy moves budget from children with headroom to children
+// pegged at their cap, a configurable fraction per epoch.
+type DemandShiftPolicy struct {
+	// ShiftFrac is the fraction of a donor's headroom moved per epoch
+	// (default 0.5).
+	ShiftFrac float64
+	// PeggedFrac marks a child hungry when its mean power exceeds this
+	// fraction of its cap (default 0.94).
+	PeggedFrac float64
+}
+
+// Name implements Policy.
+func (DemandShiftPolicy) Name() string { return "demand-shift" }
+
+// Rebalance implements Policy.
+func (p DemandShiftPolicy) Rebalance(next, assigned, meanPower []float64) {
+	shift := p.ShiftFrac
+	if shift <= 0 {
+		shift = 0.5
+	}
+	pegged := p.PeggedFrac
+	if pegged <= 0 {
+		pegged = 0.94
+	}
+	copy(next, assigned)
+	hungry := 0
+	for i := range next {
+		if meanPower[i] >= assigned[i]*pegged {
+			hungry++
+		}
+	}
+	if hungry == 0 || hungry == len(next) {
+		// Nobody to shift from or to; keep the assignment.
+		return
+	}
+	pool := 0.0
+	for i := range next {
+		if meanPower[i] >= assigned[i]*pegged {
+			continue
+		}
+		// Donor: release part of the headroom, keeping a margin so its
+		// own transients stay covered.
+		donate := (assigned[i] - meanPower[i]) * shift
+		if donate > 0 {
+			next[i] -= donate
+			pool += donate
+		}
+	}
+	if pool <= 0 {
+		return
+	}
+	per := pool / float64(hungry)
+	for i := range next {
+		if meanPower[i] >= assigned[i]*pegged {
+			next[i] += per
+		}
+	}
+}
+
+// ProportionalSharePolicy reassigns budget in proportion to each child's
+// observed demand (its mean power over the last step), FastCap-style: the
+// watts a child actually drew are its weight in the next split, so budget
+// flows continuously toward the consumers converting it into work. A
+// max-starvation bound keeps any child from being squeezed below a fixed
+// fraction of its fair (even) share no matter how small its demand, so an
+// idle child always retains enough budget to ramp back up and register
+// demand again.
+type ProportionalSharePolicy struct {
+	// MinShareFrac is the starvation bound: no child's target falls below
+	// MinShareFrac x (total/N) (default 0.5, clamped to [0, 1]).
+	MinShareFrac float64
+	// Smoothing is the fraction of the gap between the current assignment
+	// and the demand-proportional target closed per epoch (default 0.5;
+	// 1 jumps straight to the target).
+	Smoothing float64
+}
+
+// Name implements Policy.
+func (ProportionalSharePolicy) Name() string { return "proportional" }
+
+// Rebalance implements Policy.
+func (p ProportionalSharePolicy) Rebalance(next, assigned, meanPower []float64) {
+	minFrac := p.MinShareFrac
+	if minFrac <= 0 {
+		minFrac = 0.5
+	}
+	if minFrac > 1 {
+		minFrac = 1
+	}
+	alpha := p.Smoothing
+	if alpha <= 0 {
+		alpha = 0.5
+	}
+	if alpha > 1 {
+		alpha = 1
+	}
+	copy(next, assigned)
+	total, demand := 0.0, 0.0
+	for i := range assigned {
+		total += assigned[i]
+		demand += meanPower[i]
+	}
+	if total <= 0 || demand <= 0 {
+		// No budget to split or no demand signal yet (first epoch of a
+		// fresh cluster): keep the assignment.
+		return
+	}
+	bound := total / float64(len(assigned)) * minFrac
+	for i := range next {
+		target := total * meanPower[i] / demand
+		if target < bound {
+			target = bound
+		}
+		next[i] += alpha * (target - next[i])
+	}
+}
+
+// PolicyByName resolves a policy selector ("even", "demand-shift",
+// "proportional" — each policy's Name) to its default-configured policy.
+func PolicyByName(name string) (Policy, error) {
+	switch name {
+	case "", EvenPolicy{}.Name():
+		return EvenPolicy{}, nil
+	case DemandShiftPolicy{}.Name():
+		return DemandShiftPolicy{}, nil
+	case ProportionalSharePolicy{}.Name():
+		return ProportionalSharePolicy{}, nil
+	}
+	return nil, fmt.Errorf("cluster: unknown policy %q (want even, demand-shift, or proportional)", name)
+}

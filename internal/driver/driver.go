@@ -114,8 +114,9 @@ type Result struct {
 	ViolationFrac float64
 	// FinalConfig is the software configuration at the end of the run.
 	FinalConfig machine.Config
-	// ConfigLog records every software configuration as it took effect,
-	// for inspecting a controller's decision sequence.
+	// ConfigLog records software configurations as they took effect, for
+	// inspecting a controller's decision sequence. Both logs keep the most
+	// recent events (bounded; only a perpetual session ever truncates).
 	ConfigLog []ConfigEvent
 	// OpLog records firmware operating-point changes (coalesced).
 	OpLog []OpEvent

@@ -67,6 +67,13 @@ func (s *Session) AdvanceContext(ctx context.Context, d time.Duration) error {
 	return s.runner.RunContext(ctx, d)
 }
 
+// GrowTraces preallocates the node's telemetry traces for d of further
+// simulated time. Bounded runs size their traces up front (Run does this
+// internally); a session has no horizon, so a caller that knows one — a
+// benchmark harness stepping a fixed number of epochs — uses this to keep
+// steady-state ticking free of trace reallocation.
+func (s *Session) GrowTraces(d time.Duration) { s.w.growTraces(d) }
+
 // InjectFault schedules a fault at runtime: the scenario's onset is
 // interpreted relative to the session's current simulated time (onset 0
 // means "starting now"). The scenario is validated before scheduling.

@@ -198,7 +198,10 @@ func newWorld(s Scenario, apps []*workload.Instance, rng *sim.RNG) *world {
 
 // growTraces preallocates every per-run trace for d of simulated time
 // (samples accrue once per sensor period), so a bounded run's steady-state
-// ticking never reallocates telemetry storage.
+// ticking never reallocates telemetry storage. The event logs are sized to
+// their caps outright: their bound makes that the worst case anyway, and a
+// caller interested in steady-state allocation wants the doubling ramp out
+// of the way up front.
 func (w *world) growTraces(d time.Duration) {
 	n := int(d/sensorPeriod) + 2
 	w.truePower.Grow(n)
@@ -212,6 +215,12 @@ func (w *world) growTraces(d time.Duration) {
 	}
 	if tr := w.perfSensor.Trace(); tr != nil {
 		tr.Grow(n)
+	}
+	if cap(w.opLog) < opLogCap {
+		w.opLog = append(make([]OpEvent, 0, opLogCap), w.opLog...)
+	}
+	if cap(w.configLog) < configLogCap {
+		w.configLog = append(make([]ConfigEvent, 0, configLogCap), w.configLog...)
 	}
 }
 
@@ -409,7 +418,27 @@ func (w *world) adopt(cfg machine.Config) {
 	}
 	w.active = next
 	w.evalStale = true
+	w.configLog = boundLog(w.configLog, configLogCap)
 	w.configLog = append(w.configLog, ConfigEvent{T: w.now(), Cfg: cfg.Clone()})
+}
+
+// Event logs are bounded: a run of any plausible duration stays far under
+// the caps, but a perpetual session — a pupild node or cluster member —
+// would otherwise grow its logs, and the allocation churn of doubling
+// them, without limit. When a log fills, the oldest half is dropped in
+// place so steady-state appends reuse a fixed backing array.
+const (
+	opLogCap     = 4096
+	configLogCap = 1024
+)
+
+// boundLog compacts log in place to its newest half once it reaches max.
+func boundLog[E any](log []E, max int) []E {
+	if len(log) < max {
+		return log
+	}
+	n := copy(log, log[len(log)-max/2:])
+	return log[:n]
 }
 
 // --- core.Env ---
@@ -609,6 +638,7 @@ func (w *world) SetOperatingPoint(socket int, freqIdx int, duty float64) {
 		return
 	}
 	if w.active.Freq[socket] != freqIdx || abs(w.active.Duty[socket]-duty) >= 0.049 {
+		w.opLog = boundLog(w.opLog, opLogCap)
 		w.opLog = append(w.opLog, OpEvent{T: w.now(), Socket: socket, FreqIdx: freqIdx, Duty: duty})
 	}
 	w.active.Freq[socket] = freqIdx

@@ -85,6 +85,20 @@ func TestGoldenChaosTables(t *testing.T) {
 	}
 }
 
+// TestGoldenHierarchyTable pins the quick-config flat-vs-tree comparison —
+// 2 adaptive policies x 3 budget-domain arrangements over the same 8 nodes
+// and budget ramp — byte for byte.
+func TestGoldenHierarchyTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the quick hierarchy grid")
+	}
+	d, err := HierarchyOpts(context.Background(), quickCfg(), RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "hierarchy_quick.csv", goldenCSV(tableHierarchyFrom(d)))
+}
+
 // TestGoldenClusterTable pins the quick-config cluster-policy comparison —
 // the 3 policies x 3 cluster sizes grid under the budget ramp — byte for
 // byte.

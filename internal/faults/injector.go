@@ -164,13 +164,16 @@ func (inj *Injector) WindowScale(now time.Duration) float64 {
 }
 
 // tap is the per-sensor fault state behind SensorTap: enough history for
-// latency replay and the last healthy value for stuck-at.
+// latency replay and the last healthy value for stuck-at. History is a
+// fixed ring — head is the next write slot, n the filled count — so the
+// steady-state sampling path never reallocates.
 type tap struct {
 	inj    *Injector
 	target Target
 	rng    *sim.RNG
 
 	hist     []telemetry.Reading
+	head, n  int
 	lastGood float64
 	hasGood  bool
 }
@@ -197,9 +200,13 @@ func (inj *Injector) SensorTap(target Target) telemetry.Tap {
 // that order. Faults compose: a stuck sensor that also drops out stays
 // silent; a delayed reading can still spike.
 func (t *tap) apply(now time.Duration, v float64) (float64, bool) {
-	t.hist = append(t.hist, telemetry.Reading{T: now, V: v})
-	if len(t.hist) > histCap {
-		t.hist = t.hist[len(t.hist)-histCap:]
+	if t.hist == nil {
+		t.hist = make([]telemetry.Reading, histCap)
+	}
+	t.hist[t.head] = telemetry.Reading{T: now, V: v}
+	t.head = (t.head + 1) % histCap
+	if t.n < histCap {
+		t.n++
 	}
 
 	if sc, ok := t.inj.firstActive(now, KindLatency, t.target); ok {
@@ -234,11 +241,13 @@ func (t *tap) apply(now time.Duration, v float64) (float64, bool) {
 	return v, true
 }
 
-// at returns the newest reading taken at or before tm.
+// at returns the newest reading taken at or before tm, scanning the ring
+// newest to oldest.
 func (t *tap) at(tm time.Duration) (float64, bool) {
-	for i := len(t.hist) - 1; i >= 0; i-- {
-		if t.hist[i].T <= tm {
-			return t.hist[i].V, true
+	for k := 1; k <= t.n; k++ {
+		r := t.hist[(t.head-k+histCap)%histCap]
+		if r.T <= tm {
+			return r.V, true
 		}
 	}
 	return 0, false

@@ -1,0 +1,7 @@
+//go:build race
+
+package perf
+
+// raceEnabled reports whether the race detector instruments this build;
+// wall-clock assertions are meaningless under its overhead.
+const raceEnabled = true

@@ -1,0 +1,47 @@
+package perf
+
+import (
+	"testing"
+	"time"
+)
+
+// TestClusterEpoch10kRealTime pins the scale claim behind the hierarchy:
+// a 10000-node cluster — 200 racks of 50, 10 racks per row, one global
+// budget — steps a full coordinator epoch in at most one second of wall
+// clock, i.e. the fleet simulates its 100 ms fast-loop epochs faster than
+// real time. The bound is deliberately loose (steady epochs run well under
+// half of it) so scheduler noise on a shared runner cannot flake the test;
+// a breach means the epoch hot path regressed by an integer factor.
+func TestClusterEpoch10kRealTime(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k-node cluster build is too heavy for -short")
+	}
+	if raceEnabled {
+		t.Skip("wall-clock bound is meaningless under the race detector's overhead")
+	}
+	c, err := scaleCluster(10000, &topo10k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm past first-epoch lazy growth (trace capacity, pool spin-up) so
+	// the timed epoch is the steady state the benchmark measures.
+	for i := 0; i < 2; i++ {
+		if !c.StepOnce() {
+			t.Fatal("cluster stopped during warm-up")
+		}
+	}
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		if !c.StepOnce() {
+			t.Fatal("cluster stopped mid-measurement")
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	t.Logf("10k-node epoch: best of 3 = %v", best)
+	if best > time.Second {
+		t.Fatalf("10k-node cluster epoch took %v; the real-time budget is 1s", best)
+	}
+}

@@ -31,6 +31,7 @@ func Suite() []Benchmark {
 		{Name: "BenchmarkSweepCell", Fn: SweepCell},
 		{Name: "BenchmarkServerTick", Fn: ServerTick},
 		{Name: "BenchmarkClusterEpoch", Fn: ClusterEpoch},
+		{Name: "BenchmarkClusterEpoch100", Fn: ClusterEpoch100},
 		{Name: "BenchmarkRouterPublish", Fn: RouterPublish},
 	}
 }
@@ -187,6 +188,85 @@ func ClusterEpoch(b *testing.B) {
 			b.Fatal("cluster stopped during benchmark")
 		}
 	}
+}
+
+// scaleCluster builds an n-node hierarchical cluster for the fleet-scale
+// epoch benchmarks: nodes cycle through the four canonical benchmarks under
+// hardware-only capping, grouped by topo into rack (and row) budget
+// domains. Epochs advance 100 ms of simulated time — the ControlPULP-style
+// split where node sessions and leaf rebalances run on a fast inner loop
+// while parent domains reapportion on a slower cadence (every 5 epochs).
+func scaleCluster(n int, topo *server.ClusterTopologyConfig) (*server.Cluster, error) {
+	names := []string{"blackscholes", "swaptions", "kmeans", "STREAM"}
+	threads := []int{32, 32, 8, 8}
+	nodes := make([]server.ClusterNodeConfig, n)
+	for i := range nodes {
+		nodes[i] = server.ClusterNodeConfig{
+			Technique: "RAPL",
+			Workloads: []server.WorkloadConfig{{Benchmark: names[i%4], Threads: threads[i%4]}},
+		}
+	}
+	return server.NewDetachedCluster(server.ClusterConfig{
+		BudgetWatts: float64(n) * 100,
+		Policy:      "demand-shift",
+		Seed:        42,
+		Parallel:    2,
+		EpochSimMS:  100,
+		Nodes:       nodes,
+		Topology:    topo,
+	})
+}
+
+// clusterEpochScale is the shared body of the fleet-scale variants: one op
+// steps an n-node hierarchical cluster one coordinator epoch. The horizon
+// is known (b.N epochs of 100 ms), so traces are pre-grown outside the
+// timer — otherwise amortized trace doubling across hundreds of nodes makes
+// allocs/op a function of b.N and the number useless for regression gating.
+func clusterEpochScale(b *testing.B, n int, topo *server.ClusterTopologyConfig) {
+	c, err := scaleCluster(n, topo)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm through a full parent-rebalance cadence so first-occurrence lazy
+	// growth (parent scratch, trace capacity) is outside the timer.
+	for i := 0; i < 6; i++ {
+		if !c.StepOnce() {
+			b.Fatal("cluster stopped during warm-up")
+		}
+	}
+	c.GrowTraces(time.Duration(b.N+1) * 100 * time.Millisecond)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !c.StepOnce() {
+			b.Fatal("cluster stopped during benchmark")
+		}
+	}
+}
+
+// ClusterEpoch100 measures a 100-node two-level cluster epoch (ten racks of
+// ten under one datacenter budget) — the fleet-scale entry the regression
+// gate tracks.
+func ClusterEpoch100(b *testing.B) {
+	clusterEpochScale(b, 100, &server.ClusterTopologyConfig{NodesPerRack: 10, RebalanceEvery: 5})
+}
+
+// ClusterEpoch1k measures a 1000-node three-level cluster epoch: 50 racks
+// of 20 nodes, grouped 5 racks per row.
+func ClusterEpoch1k(b *testing.B) {
+	clusterEpochScale(b, 1000, &server.ClusterTopologyConfig{NodesPerRack: 20, RacksPerRow: 5, RebalanceEvery: 5})
+}
+
+// topo10k is the 10000-node arrangement the benchmark and the real-time
+// acceptance test share: 200 racks of 50 nodes, 10 racks per row.
+var topo10k = server.ClusterTopologyConfig{NodesPerRack: 50, RacksPerRow: 10, RebalanceEvery: 5}
+
+// ClusterEpoch10k measures a 10000-node three-level cluster epoch — the
+// scale target: one epoch must stay under a second of wall clock, so a
+// fleet of ten thousand simulated nodes steps in real time under a single
+// global budget.
+func ClusterEpoch10k(b *testing.B) {
+	clusterEpochScale(b, 10000, &topo10k)
 }
 
 // RouterPublish measures the telemetry pipeline's intake: one op pushes a

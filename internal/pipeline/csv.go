@@ -19,7 +19,7 @@ type CSV struct {
 	row    []string
 }
 
-var csvHeader = []string{"sim_s", "family", "cluster", "node", "zone", "value"}
+var csvHeader = []string{"sim_s", "family", "cluster", "domain", "node", "zone", "value"}
 
 // NewCSV returns a CSV sink over w.
 func NewCSV(w io.Writer) *CSV {
@@ -44,9 +44,10 @@ func (s *CSV) Write(batch []Sample) error {
 		s.row[0] = strconv.FormatFloat(smp.SimS, 'g', -1, 64)
 		s.row[1] = smp.Family
 		s.row[2] = smp.Cluster
-		s.row[3] = smp.Node
-		s.row[4] = smp.Zone
-		s.row[5] = strconv.FormatFloat(smp.Value, 'g', -1, 64)
+		s.row[3] = smp.Domain
+		s.row[4] = smp.Node
+		s.row[5] = smp.Zone
+		s.row[6] = strconv.FormatFloat(smp.Value, 'g', -1, 64)
 		if err := s.w.Write(s.row); err != nil {
 			return err
 		}

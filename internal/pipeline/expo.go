@@ -97,7 +97,7 @@ func (e *Exposition) Flush() error { return nil }
 func (e *Exposition) Close() error { return nil }
 
 func seriesKey(s Sample) string {
-	return s.Family + "\x00" + s.Cluster + "\x00" + s.Node + "\x00" + s.Zone + "\x00" + s.Sink
+	return s.Family + "\x00" + s.Cluster + "\x00" + s.Domain + "\x00" + s.Node + "\x00" + s.Zone + "\x00" + s.Sink
 }
 
 // WriteTo renders the full page: every gatherer in registration order
@@ -170,11 +170,13 @@ func appendSample(buf []byte, s Sample) []byte {
 	return buf
 }
 
-// appendLabels serializes the non-empty labels in fixed cluster, node,
-// zone, sink order (matching the pre-pipeline exporter's byte layout).
+// appendLabels serializes the non-empty labels in fixed cluster, domain,
+// node, zone, sink order (matching the pre-pipeline exporter's byte
+// layout; domain only appears on hierarchical-coordination families).
 func appendLabels(buf []byte, s Sample) []byte {
 	labels := [...]struct{ k, v string }{
 		{"cluster", s.Cluster},
+		{"domain", s.Domain},
 		{"node", s.Node},
 		{"zone", s.Zone},
 		{"sink", s.Sink},

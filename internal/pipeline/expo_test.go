@@ -85,6 +85,33 @@ func TestExpositionServeHTTP(t *testing.T) {
 	}
 }
 
+// TestDomainLabel: the domain label renders between cluster and node and
+// keys series separately, so per-domain families never collide.
+func TestDomainLabel(t *testing.T) {
+	s := Sample{Family: "pupil_cluster_domain_budget_watts", Cluster: "c1", Domain: "rack0", Value: 200}
+	got := string(appendSample(nil, s))
+	want := `pupil_cluster_domain_budget_watts{cluster="c1",domain="rack0"} 200` + "\n"
+	if got != want {
+		t.Errorf("rendered %q, want %q", got, want)
+	}
+	withNode := Sample{Family: "pupil_cluster_node_cap_watts", Cluster: "c1", Domain: "rack0", Node: "n3", Value: 90}
+	got = string(appendSample(nil, withNode))
+	want = `pupil_cluster_node_cap_watts{cluster="c1",domain="rack0",node="n3"} 90` + "\n"
+	if got != want {
+		t.Errorf("rendered %q, want %q", got, want)
+	}
+	other := s
+	other.Domain = "rack1"
+	if seriesKey(s) == seriesKey(other) {
+		t.Error("series differing only in domain share a key")
+	}
+	// A sample with no domain keeps its exact pre-domain byte layout.
+	flat := Sample{Family: "pupil_cluster_budget_watts", Cluster: "c1", Value: 400}
+	if got := string(appendSample(nil, flat)); got != `pupil_cluster_budget_watts{cluster="c1"} 400`+"\n" {
+		t.Errorf("flat sample drifted: %q", got)
+	}
+}
+
 func TestAppendValueFormats(t *testing.T) {
 	cases := []struct {
 		v    float64

@@ -133,9 +133,9 @@ func TestCSVHeaderAndRows(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := [][]string{
-		{"sim_s", "family", "cluster", "node", "zone", "value"},
-		{"2.5", "pupil_power_watts", "", "n1", "", "96.5"},
-		{"3", "pupil_power_watts", "c1", "comma,node", "package_0", "48"},
+		{"sim_s", "family", "cluster", "domain", "node", "zone", "value"},
+		{"2.5", "pupil_power_watts", "", "", "n1", "", "96.5"},
+		{"3", "pupil_power_watts", "c1", "", "comma,node", "package_0", "48"},
 	}
 	if len(rows) != len(want) {
 		t.Fatalf("rows = %q", rows)

@@ -50,6 +50,20 @@ type ClusterNodeConfig struct {
 	Workloads []WorkloadConfig `json:"workloads,omitempty"`
 }
 
+// ClusterTopologyConfig groups a cluster's nodes into hierarchical budget
+// domains (racks, optionally rows under a datacenter root); see
+// cluster.Topology. Omitting it keeps the flat coordinator.
+type ClusterTopologyConfig struct {
+	// NodesPerRack groups consecutive nodes into racks of this size.
+	NodesPerRack int `json:"nodes_per_rack"`
+	// RacksPerRow optionally groups consecutive racks into rows, adding a
+	// third budget level.
+	RacksPerRow int `json:"racks_per_row,omitempty"`
+	// RebalanceEvery is the parent-level rebalance cadence in epochs
+	// (default 1: every epoch).
+	RebalanceEvery int `json:"rebalance_every,omitempty"`
+}
+
 // ClusterConfig describes a cluster to create.
 type ClusterConfig struct {
 	// Name is an optional human label; the manager assigns the ID.
@@ -79,6 +93,9 @@ type ClusterConfig struct {
 	// Parallel bounds the worker pool that advances node sessions inside
 	// one epoch (<= 0 means all cores). Never affects results.
 	Parallel int `json:"parallel,omitempty"`
+	// Topology optionally arranges the nodes into hierarchical budget
+	// domains (rack -> row -> datacenter).
+	Topology *ClusterTopologyConfig `json:"topology,omitempty"`
 }
 
 // ClusterNodeStatus is the API view of one node of a cluster.
@@ -92,6 +109,24 @@ type ClusterNodeStatus struct {
 	// MeanPowerWatts and MeanRateHBs average the trailing epoch.
 	MeanPowerWatts float64 `json:"mean_power_watts"`
 	MeanRateHBs    float64 `json:"mean_rate_hbs"`
+}
+
+// ClusterDomainStatus is the API view of one budget domain of a
+// hierarchical cluster.
+type ClusterDomainStatus struct {
+	Name   string `json:"name"`
+	Level  string `json:"level"`
+	Parent string `json:"parent,omitempty"`
+	// Nodes counts the cluster nodes the domain covers.
+	Nodes int `json:"nodes"`
+	// BudgetWatts is the budget currently delegated to the domain; child
+	// budgets always sum to their parent's.
+	BudgetWatts float64 `json:"budget_watts"`
+	// MeanPowerWatts sums the member nodes' trailing-epoch mean power.
+	MeanPowerWatts float64 `json:"mean_power_watts"`
+	// FairShareMin is the minimum, over member nodes, of cap / fair even
+	// share — 1.0 means a perfectly even split inside the domain.
+	FairShareMin float64 `json:"fair_share_min"`
 }
 
 // ClusterStatus is the API view of a cluster.
@@ -110,7 +145,10 @@ type ClusterStatus struct {
 	TotalPowerWatts float64             `json:"total_power_watts"`
 	TotalPerfHBs    float64             `json:"total_perf_hbs"`
 	Nodes           []ClusterNodeStatus `json:"nodes"`
-	Subscribers     int                 `json:"subscribers"`
+	// Domains carries the budget-domain tree in breadth-first order (root
+	// first); omitted for flat clusters.
+	Domains     []ClusterDomainStatus `json:"domains,omitempty"`
+	Subscribers int                   `json:"subscribers"`
 	// StreamDropped counts samples lost across all of this cluster's
 	// stream subscribers (including closed ones) to full ring buffers.
 	StreamDropped uint64 `json:"stream_dropped,omitempty"`
@@ -133,23 +171,47 @@ type ClusterSample struct {
 	// TotalPowerWatts and TotalPerfHBs sum the nodes' epoch means.
 	TotalPowerWatts float64 `json:"total_power_watts"`
 	TotalPerfHBs    float64 `json:"total_perf_hbs"`
+	// Domains carries per-domain budgets and fairness for hierarchical
+	// clusters; omitted for flat clusters.
+	Domains []ClusterDomainStatus `json:"domains,omitempty"`
 	// Dropped counts samples this subscriber lost to a full buffer; it is
 	// filled in by the streaming layer, not the producer.
 	Dropped uint64 `json:"dropped,omitempty"`
+}
+
+// domainStatuses converts coordinator domain snapshots to their API view.
+func domainStatuses(ds []cluster.DomainSnapshot) []ClusterDomainStatus {
+	if len(ds) == 0 {
+		return nil
+	}
+	out := make([]ClusterDomainStatus, len(ds))
+	for i, d := range ds {
+		out[i] = ClusterDomainStatus{
+			Name:           d.Name,
+			Level:          d.Level,
+			Parent:         d.Parent,
+			Nodes:          d.Nodes,
+			BudgetWatts:    d.BudgetWatts,
+			MeanPowerWatts: d.MeanPowerWatts,
+			FairShareMin:   d.FairShareMin,
+		}
+	}
+	return out
 }
 
 // Cluster is one live coordinator owned by the manager: its epoch loop, the
 // mutex serializing coordinator access against budget/cap mutations and
 // status reads, and the per-epoch telemetry fan-out.
 type Cluster struct {
-	id        string
-	cfg       ClusterConfig
-	nodeTech  []string   // resolved technique per node
-	nodeNames []string   // resolved display name per node
-	nodeApps  [][]string // resolved workload names per node
-	epochSim  time.Duration
-	tickReal  time.Duration
-	maxSim    time.Duration
+	id          string
+	cfg         ClusterConfig
+	nodeTech    []string   // resolved technique per node
+	nodeNames   []string   // resolved display name per node
+	nodeApps    [][]string // resolved workload names per node
+	nodeDomains []string   // leaf (rack) domain per node; nil when flat
+	epochSim    time.Duration
+	tickReal    time.Duration
+	maxSim      time.Duration
 
 	mu         sync.Mutex // guards coord, last, lastSnap, state, failReason
 	coord      *cluster.Coordinator
@@ -228,6 +290,7 @@ func (c *Cluster) Status() ClusterStatus {
 		BudgetWatts:     sn.Budget,
 		TotalPowerWatts: sn.TotalPower,
 		TotalPerfHBs:    sn.TotalRate,
+		Domains:         domainStatuses(sn.Domains),
 		Subscribers:     c.fan.Subscribers(),
 		StreamDropped:   c.fan.TotalDropped(),
 		FailReason:      c.failReason,
@@ -250,6 +313,18 @@ func (c *Cluster) Status() ClusterStatus {
 // whether it is still running — the deterministic entry point for tests and
 // the perf harness.
 func (c *Cluster) StepOnce() bool { return c.tick() }
+
+// GrowTraces preallocates every node's telemetry traces for d of further
+// simulated time. Harnesses that know how many epochs they will step (the
+// perf benchmarks do) use it so the measured steady state is free of
+// per-node trace reallocation.
+func (c *Cluster) GrowTraces(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.state != StateFailed {
+		c.coord.GrowTraces(d)
+	}
+}
 
 // tick steps one coordinator epoch and publishes the epoch sample. It
 // reports whether the loop should continue.
@@ -278,8 +353,14 @@ func (c *Cluster) publishPipeline(smp ClusterSample) {
 		pipeline.Sample{Family: "pupil_cluster_budget_watts", Cluster: c.id, SimS: smp.SimS, Value: smp.BudgetWatts},
 		pipeline.Sample{Family: "pupil_cluster_power_watts", Cluster: c.id, SimS: smp.SimS, Value: smp.TotalPowerWatts},
 		pipeline.Sample{Family: "pupil_cluster_perf_hbs", Cluster: c.id, SimS: smp.SimS, Value: smp.TotalPerfHBs})
+	for _, d := range smp.Domains {
+		b = append(b,
+			pipeline.Sample{Family: "pupil_cluster_domain_budget_watts", Cluster: c.id, Domain: d.Name, SimS: smp.SimS, Value: d.BudgetWatts},
+			pipeline.Sample{Family: "pupil_cluster_domain_power_watts", Cluster: c.id, Domain: d.Name, SimS: smp.SimS, Value: d.MeanPowerWatts},
+			pipeline.Sample{Family: "pupil_cluster_domain_fair_share_min", Cluster: c.id, Domain: d.Name, SimS: smp.SimS, Value: d.FairShareMin})
+	}
 	for i, capW := range smp.CapsWatts {
-		b = append(b, pipeline.Sample{Family: "pupil_cluster_node_cap_watts", Cluster: c.id, Node: c.nodeName(i), SimS: smp.SimS, Value: capW})
+		b = append(b, pipeline.Sample{Family: "pupil_cluster_node_cap_watts", Cluster: c.id, Domain: c.nodeDomain(i), Node: c.nodeName(i), SimS: smp.SimS, Value: capW})
 	}
 	c.router.PublishBatch(b)
 	c.pubBuf = b
@@ -289,6 +370,15 @@ func (c *Cluster) publishPipeline(smp ClusterSample) {
 func (c *Cluster) nodeName(i int) string {
 	if i < len(c.nodeNames) {
 		return c.nodeNames[i]
+	}
+	return ""
+}
+
+// nodeDomain returns node i's leaf (rack) domain name; "" when flat, so
+// flat clusters' series keep their exact pre-hierarchy label sets.
+func (c *Cluster) nodeDomain(i int) string {
+	if i < len(c.nodeDomains) {
+		return c.nodeDomains[i]
 	}
 	return ""
 }
@@ -327,6 +417,7 @@ func (c *Cluster) advance() (smp ClusterSample, publish, cont bool) {
 		NodePowerWatts:  make([]float64, len(sn.Nodes)),
 		TotalPowerWatts: sn.TotalPower,
 		TotalPerfHBs:    sn.TotalRate,
+		Domains:         domainStatuses(sn.Domains),
 	}
 	for i, ns := range sn.Nodes {
 		smp.CapsWatts[i] = ns.CapWatts
@@ -431,16 +522,16 @@ func NewDetachedCluster(cfg ClusterConfig) (*Cluster, error) {
 
 // GetCluster looks a cluster up by ID.
 func (m *Manager) GetCluster(id string) (*Cluster, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	c, ok := m.clusters[id]
 	return c, ok
 }
 
 // Clusters lists the live clusters in creation order.
 func (m *Manager) Clusters() []*Cluster {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	out := make([]*Cluster, 0, len(m.clusterOrder))
 	for _, id := range m.clusterOrder {
 		out = append(out, m.clusters[id])
@@ -555,6 +646,14 @@ func buildCluster(cfg ClusterConfig) (*Cluster, error) {
 		}
 	}
 
+	var topo cluster.Topology
+	if cfg.Topology != nil {
+		topo = cluster.Topology{
+			NodesPerRack:   cfg.Topology.NodesPerRack,
+			RacksPerRow:    cfg.Topology.RacksPerRow,
+			RebalanceEvery: cfg.Topology.RebalanceEvery,
+		}
+	}
 	coord, err := cluster.NewCoordinator(cluster.Config{
 		Nodes:       specs,
 		BudgetWatts: cfg.BudgetWatts,
@@ -563,11 +662,13 @@ func buildCluster(cfg ClusterConfig) (*Cluster, error) {
 		Seed:        cfg.Seed,
 		FloorWatts:  cfg.FloorWatts,
 		Parallel:    cfg.Parallel,
+		Topology:    topo,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
 	}
 	c.coord = coord
+	c.nodeDomains = coord.NodeDomains()
 	c.lastSnap = coord.Snapshot()
 	return c, nil
 }

@@ -161,6 +161,125 @@ func TestClusterEndToEnd(t *testing.T) {
 	}
 }
 
+// topologyBody is a 4-node hierarchical create request: racks of two under
+// one row, so the tree is dc -> row0 -> {rack0, rack1} -> nodes.
+const topologyBody = `{
+	"name": "sharded",
+	"policy": "demand-shift",
+	"budget_watts": 600,
+	"free_run": true,
+	"seed": 11,
+	"topology": {"nodes_per_rack": 2, "racks_per_row": 2, "rebalance_every": 2},
+	"nodes": [
+		{"technique": "RAPL", "workloads": [{"benchmark": "blackscholes", "threads": 32}]},
+		{"technique": "RAPL", "workloads": [{"benchmark": "STREAM", "threads": 8}]},
+		{"technique": "RAPL", "workloads": [{"benchmark": "swaptions", "threads": 32}]},
+		{"technique": "RAPL", "workloads": [{"benchmark": "kmeans", "threads": 8}]}
+	]
+}`
+
+// TestClusterTopologyEndToEnd drives a hierarchical cluster through the
+// REST surface: create with a topology, check the domain tree in the
+// status and stream payloads (budgets conserved level by level), and find
+// the per-domain families and domain-labeled node caps in the exporter.
+func TestClusterTopologyEndToEnd(t *testing.T) {
+	_, ts := testClient(t)
+
+	resp, created := doJSON(t, "POST", ts.URL+"/v1/clusters", topologyBody)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: status %d body %v", resp.StatusCode, created)
+	}
+	id, _ := created["id"].(string)
+	domains, _ := created["domains"].([]any)
+	if len(domains) != 4 {
+		t.Fatalf("created cluster has %d domains, want 4 (dc, row0, rack0, rack1): %v", len(domains), created)
+	}
+	root, _ := domains[0].(map[string]any)
+	if root["name"] != "dc" || root["level"] != "datacenter" {
+		t.Errorf("domain 0 = %v, want the datacenter root", root)
+	}
+	if root["budget_watts"].(float64) != 600 {
+		t.Errorf("root budget = %v, want the global 600", root["budget_watts"])
+	}
+
+	// Stream one epoch sample and check the tree it carries.
+	stream, err := http.Get(ts.URL + "/v1/clusters/" + id + "/stream?buffer=64&max=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Body.Close()
+	sc := bufio.NewScanner(stream.Body)
+	seen := false
+	for sc.Scan() {
+		var smp ClusterSample
+		if err := json.Unmarshal(sc.Bytes(), &smp); err != nil {
+			t.Fatalf("bad stream line %q: %v", sc.Text(), err)
+		}
+		if len(smp.Domains) != 4 {
+			t.Fatalf("stream sample carries %d domains, want 4: %+v", len(smp.Domains), smp)
+		}
+		// Budgets are conserved level by level: children sum to parent.
+		sums := map[string]float64{}
+		byName := map[string]ClusterDomainStatus{}
+		for _, d := range smp.Domains {
+			byName[d.Name] = d
+			if d.Parent != "" {
+				sums[d.Parent] += d.BudgetWatts
+			}
+		}
+		for parent, sum := range sums {
+			if pb := byName[parent].BudgetWatts; math.Abs(sum-pb) > 1e-6 {
+				t.Fatalf("children of %s sum to %.4f W, parent holds %.4f W", parent, sum, pb)
+			}
+		}
+		for _, d := range smp.Domains {
+			if d.FairShareMin <= 0 {
+				t.Errorf("domain %s fair_share_min = %v, want > 0", d.Name, d.FairShareMin)
+			}
+		}
+		seen = true
+		break
+	}
+	if !seen {
+		t.Fatal("stream produced no samples")
+	}
+
+	// The exporter carries the per-domain families and rack-labeled caps.
+	metricsResp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer metricsResp.Body.Close()
+	var sb strings.Builder
+	if _, err := bufio.NewReader(metricsResp.Body).WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	metrics := sb.String()
+	for _, want := range []string{
+		`pupil_cluster_domain_budget_watts{cluster="` + id + `",domain="dc"} 600`,
+		`pupil_cluster_domain_budget_watts{cluster="` + id + `",domain="rack1"}`,
+		`pupil_cluster_domain_power_watts{cluster="` + id + `",domain="row0"}`,
+		`pupil_cluster_domain_fair_share_min{cluster="` + id + `",domain="rack0"}`,
+		`pupil_cluster_node_cap_watts{cluster="` + id + `",domain="rack0",node="node0"}`,
+		`pupil_cluster_node_cap_watts{cluster="` + id + `",domain="rack1",node="node3"}`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("exporter missing %q", want)
+		}
+	}
+
+	// Invalid topologies are rejected at the API boundary.
+	for _, bad := range []string{
+		`{"budget_watts": 300, "topology": {"nodes_per_rack": -1}, "nodes": [{"technique": "RAPL", "workloads": [{"benchmark": "STREAM"}]}]}`,
+		`{"budget_watts": 300, "topology": {"racks_per_row": 2}, "nodes": [{"technique": "RAPL", "workloads": [{"benchmark": "STREAM"}]}]}`,
+	} {
+		r, body := doJSON(t, "POST", ts.URL+"/v1/clusters", bad)
+		if r.StatusCode != http.StatusBadRequest {
+			t.Errorf("bad topology %s: status %d body %v, want 400", bad, r.StatusCode, body)
+		}
+	}
+}
+
 func TestClusterAPIErrors(t *testing.T) {
 	_, ts := testClient(t)
 

@@ -30,6 +30,14 @@ func FuzzCreateClusterDecoder(f *testing.F) {
 		`{"budget_watts":-1,"nodes":[{"workloads":[{"benchmark":"x264"}]}]}`,
 		`{"budget_watts":300,"bogus":1,"nodes":[{"workloads":[{"benchmark":"x264"}]}]}`,
 		`{"budget_watts":300,"nodes":[{"workloads":[{"benchmark":"x264"}]}]}{}`,
+		`{"budget_watts":400,"topology":{"nodes_per_rack":2},"nodes":[{"mix":"mix7"},{"mix":"mix8"},{"mix":"mix7"},{"mix":"mix8"}]}`,
+		`{"budget_watts":400,"topology":{"nodes_per_rack":1,"racks_per_row":2,"rebalance_every":3},"nodes":[{"mix":"mix7"},{"mix":"mix8"}]}`,
+		`{"budget_watts":300,"topology":{"nodes_per_rack":-1},"nodes":[{"workloads":[{"benchmark":"x264"}]}]}`,
+		`{"budget_watts":300,"topology":{"racks_per_row":2},"nodes":[{"workloads":[{"benchmark":"x264"}]}]}`,
+		`{"budget_watts":300,"topology":{"nodes_per_rack":2,"rebalance_every":-4},"nodes":[{"mix":"mix7"}]}`,
+		`{"budget_watts":300,"topology":null,"nodes":[{"mix":"mix7"}]}`,
+		`{"budget_watts":300,"topology":{"nodes_per_rack":"2"},"nodes":[{"mix":"mix7"}]}`,
+		`{"budget_watts":300,"topology":{"racks":2},"nodes":[{"mix":"mix7"}]}`,
 		`{"nodes":`,
 		``,
 		`null`,

@@ -105,6 +105,9 @@ var clusterFamilies = []pipeline.MetricFamily{
 	{Name: "pupil_cluster_sim_seconds", Help: "Simulated time the cluster has advanced, in seconds.", Kind: pipeline.Gauge},
 	{Name: "pupil_cluster_stream_subscribers", Help: "Live epoch-stream subscribers on the cluster.", Kind: pipeline.Gauge},
 	{Name: "pupil_cluster_node_cap_watts", Help: "Budget share currently assigned to one cluster node, in Watts.", Kind: pipeline.Gauge},
+	{Name: "pupil_cluster_domain_budget_watts", Help: "Budget delegated to one hierarchical budget domain, in Watts.", Kind: pipeline.Gauge},
+	{Name: "pupil_cluster_domain_power_watts", Help: "Mean power of one budget domain's member nodes over the trailing epoch, in Watts.", Kind: pipeline.Gauge},
+	{Name: "pupil_cluster_domain_fair_share_min", Help: "Minimum node cap over fair even share within one budget domain.", Kind: pipeline.Gauge},
 	{Name: "pupil_cluster_epochs_total", Help: "Coordinator epochs the cluster has stepped.", Kind: pipeline.Counter},
 	{Name: "pupil_cluster_stream_dropped_total", Help: "Samples dropped across the cluster's stream subscribers by full ring buffers.", Kind: pipeline.Counter},
 	{Name: "pupil_clusters_failed", Help: "Clusters whose coordinators panicked and were isolated.", Kind: pipeline.Gauge},
@@ -133,9 +136,24 @@ func (c clusterCollector) Collect(out []pipeline.Sample) []pipeline.Sample {
 	gauge("pupil_cluster_nodes", func(st ClusterStatus) float64 { return float64(len(st.Nodes)) })
 	gauge("pupil_cluster_sim_seconds", func(st ClusterStatus) float64 { return st.SimS })
 	gauge("pupil_cluster_stream_subscribers", func(st ClusterStatus) float64 { return float64(st.Subscribers) })
-	for _, st := range statuses {
+	for i, st := range statuses {
 		for _, n := range st.Nodes {
-			out = append(out, pipeline.Sample{Family: "pupil_cluster_node_cap_watts", Cluster: st.ID, Node: n.Name, SimS: st.SimS, Value: n.CapWatts})
+			out = append(out, pipeline.Sample{Family: "pupil_cluster_node_cap_watts", Cluster: st.ID, Domain: clusters[i].nodeDomain(n.Index), Node: n.Name, SimS: st.SimS, Value: n.CapWatts})
+		}
+	}
+	for _, st := range statuses {
+		for _, d := range st.Domains {
+			out = append(out, pipeline.Sample{Family: "pupil_cluster_domain_budget_watts", Cluster: st.ID, Domain: d.Name, SimS: st.SimS, Value: d.BudgetWatts})
+		}
+	}
+	for _, st := range statuses {
+		for _, d := range st.Domains {
+			out = append(out, pipeline.Sample{Family: "pupil_cluster_domain_power_watts", Cluster: st.ID, Domain: d.Name, SimS: st.SimS, Value: d.MeanPowerWatts})
+		}
+	}
+	for _, st := range statuses {
+		for _, d := range st.Domains {
+			out = append(out, pipeline.Sample{Family: "pupil_cluster_domain_fair_share_min", Cluster: st.ID, Domain: d.Name, SimS: st.SimS, Value: d.FairShareMin})
 		}
 	}
 	gauge("pupil_cluster_epochs_total", func(st ClusterStatus) float64 { return float64(st.Epoch) })

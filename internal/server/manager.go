@@ -492,11 +492,13 @@ func (n *Node) setState(s State) {
 	n.mu.Unlock()
 }
 
-// Manager owns the live nodes: a mutex-guarded registry plus one goroutine
-// per node, with context-based cancellation and a graceful Close that
-// drains every tick loop.
+// Manager owns the live nodes: a registry behind a read-write mutex plus
+// one goroutine per node, with context-based cancellation and a graceful
+// Close that drains every tick loop. Lookups and listings — the hot path
+// for the exporter and the status endpoints — take only the read lock, so
+// concurrent scrapes never serialize against each other.
 type Manager struct {
-	mu     sync.Mutex
+	mu     sync.RWMutex
 	nodes  map[string]*Node
 	order  []string // creation order, for stable listings
 	nextID int
@@ -630,16 +632,16 @@ func (m *Manager) Create(cfg NodeConfig) (*Node, error) {
 
 // Get looks a node up by ID.
 func (m *Manager) Get(id string) (*Node, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	n, ok := m.nodes[id]
 	return n, ok
 }
 
 // Nodes lists the live nodes in creation order.
 func (m *Manager) Nodes() []*Node {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	out := make([]*Node, 0, len(m.order))
 	for _, id := range m.order {
 		out = append(out, m.nodes[id])
@@ -649,8 +651,8 @@ func (m *Manager) Nodes() []*Node {
 
 // Len reports the number of live nodes.
 func (m *Manager) Len() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	return len(m.nodes)
 }
 
