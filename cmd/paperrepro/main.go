@@ -8,8 +8,8 @@
 //
 // -only selects a comma-separated subset of experiment names:
 // table1,table2,fig1,eas,table3,fig3,fig4,fig5,table4,table5,fig6,table6,fig7,fig8,
-// sensitivity,chaos,cluster. Unknown names are an error (a typo would
-// otherwise silently reproduce nothing).
+// sensitivity,chaos,cluster,hierarchy,chaoscluster. Unknown names are an
+// error (a typo would otherwise silently reproduce nothing).
 //
 // -parallel bounds the sweep worker pool (default: all cores). Results are
 // bit-identical at any parallelism; only wall-clock changes. Progress for
@@ -37,7 +37,7 @@ import (
 var experimentNames = []string{
 	"table1", "table2", "fig1", "table3", "fig3", "fig4", "fig5",
 	"table4", "table5", "fig6", "table6", "fig7", "sensitivity",
-	"eas", "fig8", "chaos", "cluster", "hierarchy",
+	"eas", "fig8", "chaos", "cluster", "hierarchy", "chaoscluster",
 }
 
 func main() {
@@ -205,6 +205,16 @@ func main() {
 			fatal(err)
 		}
 		emit("cluster", t, *csvDir)
+	}
+	if want("chaoscluster") {
+		if _, err := experiment.ChaosClusterOpts(ctx, cfg, opts("chaoscluster grid")); err != nil {
+			fatal(err)
+		}
+		t, err := experiment.TableChaosCluster(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		emit("chaoscluster", t, *csvDir)
 	}
 	if want("hierarchy") {
 		if _, err := experiment.HierarchyOpts(ctx, cfg, opts("hierarchy grid")); err != nil {

@@ -11,6 +11,7 @@
 //	curl -N localhost:9500/v1/nodes/n1/stream
 //	curl -X POST localhost:9500/v1/clusters -d '{"policy":"demand-shift","budget_watts":300,"nodes":[{"workloads":[{"benchmark":"blackscholes","threads":32}]},{"workloads":[{"benchmark":"STREAM","threads":8}]}]}'
 //	curl -X PUT localhost:9500/v1/clusters/c1/budget -d '{"budget_watts":240}'
+//	curl -X POST localhost:9500/v1/clusters/c1/faults -d '{"kind":"crash","target":"node","node":0,"onset_s":5,"duration_s":60}'
 //	curl -N localhost:9500/v1/clusters/c1/stream
 //	curl localhost:9500/metrics
 //

@@ -55,6 +55,10 @@ type Config struct {
 	// Topology optionally groups the nodes into hierarchical budget
 	// domains (racks, rows); the zero value keeps the flat coordinator.
 	Topology Topology
+	// Health enables fleet health tracking and quarantine (health.go);
+	// nil keeps the naive coordinator — no tracking, no quarantine,
+	// byte-identical behavior to previous releases.
+	Health *HealthConfig
 }
 
 // NodeResult is one node's outcome.
@@ -84,6 +88,11 @@ type Result struct {
 	// TotalPower sums mean powers over the final epoch; it must respect
 	// the budget.
 	TotalPower float64
+	// HealthEvents is the health state-transition log and ChaosEvents the
+	// cluster-scoped fault transition log; both nil when the respective
+	// machinery was never engaged.
+	HealthEvents []HealthEvent
+	ChaosEvents  []ChaosEvent
 }
 
 // Run executes the cluster scenario to completion.

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"pupil/internal/driver"
+	"pupil/internal/sim"
 	"pupil/internal/sweep"
 )
 
@@ -50,6 +51,37 @@ type Coordinator struct {
 	demand []float64
 	next   []float64
 	stepD  time.Duration
+
+	// skew is how far each node's session clock permanently lags the
+	// coordinator clock: every epoch a node forfeits (crashed, hung,
+	// flap-dead, panicked) adds to its skew — a dead node's lost time is
+	// never caught up on rejoin. After every successful step the lockstep
+	// invariant holds exactly: sessions[i].Now() + skew[i] == now. A
+	// cancelled step leaves skew untouched, so the next step advances
+	// each session by precisely the remainder it still owes.
+	skew []time.Duration
+	// stepped and panicked are the per-epoch observables the health layer
+	// classifies: whether node i's session advanced this epoch, and
+	// whether a session panic was recovered. Position-indexed writes from
+	// the sweep cells, read post-sweep.
+	stepped  []bool
+	panicked []bool
+
+	// Cluster-scoped fault schedule and the health layer (hcfg nil when
+	// health tracking is disabled).
+	chaos        chaosState
+	hcfg         *HealthConfig
+	health       []nodeHealth
+	healthEvents []HealthEvent
+
+	// Quarantine-aware leaf rebalance scratch: the healthy subset's
+	// indices and policy slices, reused every epoch.
+	subIdx                          []int
+	subNext, subAssigned, subDemand []float64
+
+	// arena backs trace rows in chunks so steady-state recording does not
+	// allocate per epoch.
+	arena []float64
 }
 
 // NewCoordinator validates the configuration and builds the cluster's
@@ -94,6 +126,15 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 		parentEvery: cfg.Topology.RebalanceEvery,
 		demand:      make([]float64, n),
 		next:        make([]float64, n),
+		skew:        make([]time.Duration, n),
+		stepped:     make([]bool, n),
+		panicked:    make([]bool, n),
+		chaos:       chaosState{nodes: make([]nodeChaos, n)},
+	}
+	if cfg.Health != nil {
+		hc := cfg.Health.withDefaults()
+		c.hcfg = &hc
+		c.health = make([]nodeHealth, n)
 	}
 	if c.parentEvery <= 0 {
 		c.parentEvery = 1
@@ -126,24 +167,77 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 	seedFloors(c.domains, floor)
 
 	// Persistent sweep cells: one per session for the whole coordinator
-	// lifetime. Each advances its session by the pending stepD and writes
-	// the observed demand into its slot.
+	// lifetime. Each advances its session to the pending epoch target and
+	// writes the observed demand into its slot.
 	c.cells = make([]sweep.Cell[struct{}], n)
 	for i := range c.cells {
 		i, s := i, c.sessions[i]
 		c.cells[i] = sweep.Cell[struct{}]{
 			Label: cfg.Nodes[i].Name,
 			Run: func(ctx context.Context) (struct{}, error) {
-				if err := s.AdvanceContext(ctx, c.stepD); err != nil {
-					return struct{}{}, err
-				}
-				c.demand[i] = s.MeanPower(c.stepD)
-				return struct{}{}, nil
+				return struct{}{}, c.stepNode(ctx, i, s)
 			},
 		}
 	}
 	c.record()
 	return c, nil
+}
+
+// stepNode is one sweep cell's body: advance node i's session to the
+// coordinator's pending epoch target and deposit its demand report,
+// routing cluster-scoped chaos and (when health tracking is on)
+// recovering session panics so one broken node cannot take the cluster
+// down. All writes are position-indexed; nothing here is affected by the
+// pool's parallelism.
+func (c *Coordinator) stepNode(ctx context.Context, i int, s *driver.Session) (err error) {
+	target := c.now + c.stepD
+	c.stepped[i] = false
+	c.panicked[i] = false
+	crashed, hung := c.chaos.nodeStateAt(i, target)
+	if crashed || hung {
+		// The node is down for this epoch: it forfeits the time (no
+		// catch-up on rejoin — skew records the forfeit so lockstep
+		// accounting stays exact). A crashed node reports no demand; a
+		// hung one keeps serving its last report, which is exactly how it
+		// strands budget under an adaptive policy.
+		c.skew[i] = target - s.Now()
+		if crashed {
+			c.demand[i] = 0
+		}
+		return nil
+	}
+	if c.hcfg != nil {
+		defer func() {
+			if r := recover(); r != nil {
+				// An escaped session panic is a node crash, not a cluster
+				// crash: forfeit the epoch, report nothing, and let the
+				// health layer quarantine the node.
+				c.panicked[i] = true
+				c.skew[i] = target - s.Now()
+				c.demand[i] = 0
+				err = nil
+			}
+		}()
+	}
+	delta := target - c.skew[i] - s.Now()
+	if delta > 0 {
+		if err := s.AdvanceContext(ctx, delta); err != nil {
+			return err
+		}
+	} else {
+		// The session is already at (or past) the target — a previous
+		// cancelled step advanced it further than this step reaches.
+		// Nothing to simulate; re-anchor the skew so lockstep holds.
+		c.skew[i] = target - s.Now()
+		delta = c.stepD
+	}
+	c.stepped[i] = true
+	d := s.MeanPower(delta)
+	if scale := c.chaos.demandScaleAt(i, target); scale != 1 {
+		d *= scale
+	}
+	c.demand[i] = d
+	return nil
 }
 
 // Now returns the cluster's simulated time.
@@ -246,17 +340,48 @@ func (c *Coordinator) StepContext(ctx context.Context, d time.Duration) error {
 	if d <= 0 {
 		return fmt.Errorf("cluster: step %v must be positive", d)
 	}
+	if d%sim.Tick != 0 {
+		// Sessions advance in whole kernel ticks; a fractional-tick step
+		// would silently desynchronize their clocks from the
+		// coordinator's and break the lockstep invariant.
+		return fmt.Errorf("cluster: step %v must be a multiple of the %v kernel tick", d, sim.Tick)
+	}
 	c.stepD = d
 	if _, err := sweep.Run(ctx, c.cells, sweep.Options{Parallel: c.cfg.Parallel}); err != nil {
-		// A cancelled or failed step leaves the nodes mid-epoch and
-		// possibly out of lockstep; the coordinator is only good for
-		// teardown afterwards.
+		// A cancelled or failed step leaves some sessions mid-epoch, but
+		// the coordinator stays coherent: its clock has not moved and the
+		// per-node skews are untouched, so the next successful Step
+		// advances each session by exactly the remainder it still owes
+		// (stepNode's target arithmetic) and re-establishes lockstep —
+		// pinned by TestStepResumeAfterCancel.
 		return fmt.Errorf("cluster: step: %w", err)
 	}
 	c.now += d
 	c.epochs++
+	if err := c.checkLockstep(); err != nil {
+		return err
+	}
+	c.chaos.advance(c.now)
+	if c.hcfg != nil {
+		c.updateHealth()
+	}
 	c.rebalance()
 	return c.apply(c.next)
+}
+
+// checkLockstep is the explicit post-step invariant: every session's
+// clock plus its recorded forfeit skew equals the coordinator's clock,
+// exactly (integer nanoseconds, no tolerance). A violation means a node
+// advanced out of lockstep — the mid-epoch incoherence a cancelled step
+// could previously leave behind silently.
+func (c *Coordinator) checkLockstep() error {
+	for i, s := range c.sessions {
+		if s.Now()+c.skew[i] != c.now {
+			return fmt.Errorf("cluster: node %d out of lockstep: session at %v with %v skew vs coordinator at %v",
+				i, s.Now(), c.skew[i], c.now)
+		}
+	}
+	return nil
 }
 
 // rebalance recomputes the next assignment in c.next from the demand just
@@ -267,13 +392,19 @@ func (c *Coordinator) rebalance() {
 	if c.hier {
 		// c.domains is in breadth-first order, so a reverse walk visits
 		// children before parents (bottom-up) and a forward walk parents
-		// before children (top-down).
+		// before children (top-down). A benched node's contribution to
+		// the aggregate is clamped to the floor it retains — its frozen
+		// or empty demand report must not steer the parent split.
 		for i := len(c.domains) - 1; i >= 0; i-- {
 			d := c.domains[i]
 			sum := 0.0
 			if d.leaf() {
 				for j := d.lo; j < d.hi; j++ {
-					sum += c.demand[j]
+					if c.benched(j) {
+						sum += c.floor
+					} else {
+						sum += c.demand[j]
+					}
 				}
 			} else {
 				for _, ch := range d.children {
@@ -303,8 +434,60 @@ func (c *Coordinator) rebalance() {
 		if !d.leaf() {
 			continue
 		}
+		c.rebalanceLeaf(d)
+	}
+}
+
+// rebalanceLeaf splits one leaf domain's budget across its member nodes.
+// With health tracking on, benched (quarantined or probing) members are
+// pinned at the floor and the remaining budget is re-split across the
+// healthy subset through the same policy + normalization — so the leaf's
+// sum and floor invariants hold exactly as on the healthy path, and the
+// reclaimed watts flow to members that convert them into work.
+func (c *Coordinator) rebalanceLeaf(d *domain) {
+	q := 0
+	if c.hcfg != nil {
+		for j := d.lo; j < d.hi; j++ {
+			if c.benched(j) {
+				q++
+			}
+		}
+	}
+	if q == 0 {
 		c.cfg.Policy.Rebalance(c.next[d.lo:d.hi], c.assigned[d.lo:d.hi], c.demand[d.lo:d.hi])
 		normalize(c.next[d.lo:d.hi], d.budget, c.floor)
+		return
+	}
+	if q == d.nodes() {
+		// Every member is benched. Budget conservation outranks the
+		// floor pin: the leaf's delegated budget (>= floor x members by
+		// the parent's normalization) is spread evenly so no watt goes
+		// unaccounted; the parent drains the leaf toward its floor on
+		// its own cadence via the clamped demand aggregate.
+		for j := d.lo; j < d.hi; j++ {
+			c.next[j] = c.floor
+		}
+		normalize(c.next[d.lo:d.hi], d.budget, c.floor)
+		return
+	}
+	c.subIdx = c.subIdx[:0]
+	c.subNext = c.subNext[:0]
+	c.subAssigned = c.subAssigned[:0]
+	c.subDemand = c.subDemand[:0]
+	for j := d.lo; j < d.hi; j++ {
+		if c.benched(j) {
+			c.next[j] = c.floor
+			continue
+		}
+		c.subIdx = append(c.subIdx, j)
+		c.subNext = append(c.subNext, 0)
+		c.subAssigned = append(c.subAssigned, c.assigned[j])
+		c.subDemand = append(c.subDemand, c.demand[j])
+	}
+	c.cfg.Policy.Rebalance(c.subNext, c.subAssigned, c.subDemand)
+	normalize(c.subNext, d.budget-c.floor*float64(q), c.floor)
+	for k, j := range c.subIdx {
+		c.next[j] = c.subNext[k]
 	}
 }
 
@@ -325,15 +508,33 @@ func (c *Coordinator) apply(next []float64) error {
 // record appends the current assignment to CapTrace and, for hierarchical
 // clusters, the current per-domain budgets to DomainTrace — the two traces
 // stay row-aligned so every applied change is visible at every tree level.
+// Rows are carved from a chunked arena so steady-state epoch recording
+// amortizes to (nearly) zero allocations.
 func (c *Coordinator) record() {
-	c.capTrace = append(c.capTrace, append([]float64(nil), c.assigned...))
+	row := c.arenaRow(len(c.assigned))
+	copy(row, c.assigned)
+	c.capTrace = append(c.capTrace, row)
 	if c.hier {
-		row := make([]float64, len(c.domains))
+		drow := c.arenaRow(len(c.domains))
 		for i, d := range c.domains {
-			row[i] = d.budget
+			drow[i] = d.budget
 		}
-		c.domainTrace = append(c.domainTrace, row)
+		c.domainTrace = append(c.domainTrace, drow)
 	}
+}
+
+// arenaRow carves an n-element row out of the trace arena, refilling the
+// arena in chunks of many rows when it runs dry. Rows are full slices
+// (length == capacity) so appends by a caller could never alias the next
+// row.
+func (c *Coordinator) arenaRow(n int) []float64 {
+	if len(c.arena) < n {
+		chunk := 64 * n
+		c.arena = make([]float64, chunk)
+	}
+	row := c.arena[:n:n]
+	c.arena = c.arena[n:]
+	return row
 }
 
 // NodeSnapshot is one node's slice of a cluster Snapshot.
@@ -345,6 +546,9 @@ type NodeSnapshot struct {
 	// rate over the trailing epoch.
 	MeanPower float64
 	MeanRate  float64
+	// Health is the node's health state; always Healthy when the
+	// coordinator's health tracking is disabled.
+	Health HealthState
 }
 
 // Snapshot is an instantaneous, copyable view of the cluster — the
@@ -360,17 +564,35 @@ type Snapshot struct {
 	// Domains carries the budget-domain tree in breadth-first order (root
 	// first); nil for a flat cluster.
 	Domains []DomainSnapshot
+	// Quarantined counts benched nodes (quarantined or probing) and
+	// ReclaimedWatts sums the budget reclaimed from them; both zero when
+	// health tracking is disabled.
+	Quarantined    int
+	ReclaimedWatts float64
 }
 
 // Snapshot captures the cluster's current state; means window over the
 // trailing epoch.
 func (c *Coordinator) Snapshot() Snapshot {
-	sn := Snapshot{
-		Now:    c.now,
-		Policy: c.cfg.Policy.Name(),
-		Budget: c.budget,
-		Nodes:  make([]NodeSnapshot, len(c.sessions)),
+	var sn Snapshot
+	c.SnapshotInto(&sn)
+	return sn
+}
+
+// SnapshotInto fills sn in place, reusing its Nodes and Domains backing
+// arrays when they are large enough — the allocation-free variant for
+// callers snapshotting every epoch (the serving layer's epoch loop).
+func (c *Coordinator) SnapshotInto(sn *Snapshot) {
+	sn.Now = c.now
+	sn.Policy = c.cfg.Policy.Name()
+	sn.Budget = c.budget
+	sn.TotalPower, sn.TotalRate = 0, 0
+	sn.Quarantined, sn.ReclaimedWatts = 0, 0
+	n := len(c.sessions)
+	if cap(sn.Nodes) < n {
+		sn.Nodes = make([]NodeSnapshot, n)
 	}
+	sn.Nodes = sn.Nodes[:n]
 	for i, s := range c.sessions {
 		ns := NodeSnapshot{
 			Name:      c.cfg.Nodes[i].Name,
@@ -378,17 +600,28 @@ func (c *Coordinator) Snapshot() Snapshot {
 			MeanPower: s.MeanPower(c.cfg.Epoch),
 			MeanRate:  s.MeanRate(c.cfg.Epoch),
 		}
+		if c.hcfg != nil {
+			ns.Health = c.health[i].state
+			if c.benched(i) {
+				sn.Quarantined++
+				sn.ReclaimedWatts += c.health[i].reclaimed
+			}
+		}
 		sn.Nodes[i] = ns
 		sn.TotalPower += ns.MeanPower
 		sn.TotalRate += ns.MeanRate
 	}
 	if c.hier {
-		sn.Domains = make([]DomainSnapshot, len(c.domains))
+		if cap(sn.Domains) < len(c.domains) {
+			sn.Domains = make([]DomainSnapshot, len(c.domains))
+		}
+		sn.Domains = sn.Domains[:len(c.domains)]
 		for i, d := range c.domains {
 			sn.Domains[i] = c.domainSnapshot(d, sn.Nodes)
 		}
+	} else {
+		sn.Domains = nil
 	}
-	return sn
 }
 
 // domainSnapshot assembles one domain's view from the per-node snapshots.
@@ -414,12 +647,33 @@ func (c *Coordinator) domainSnapshot(d *domain, nodes []NodeSnapshot) DomainSnap
 	return ds
 }
 
-// GrowTraces preallocates every node's telemetry traces for d of further
-// simulated time, so a caller that knows its horizon keeps steady-state
-// epoch stepping free of per-node trace reallocation.
+// GrowTraces preallocates every node's telemetry traces and the
+// coordinator's own cap/domain trace storage for d of further simulated
+// time, so a caller that knows its horizon keeps steady-state epoch
+// stepping free of trace reallocation.
 func (c *Coordinator) GrowTraces(d time.Duration) {
 	for _, s := range c.sessions {
 		s.GrowTraces(d)
+	}
+	epochs := int(d/c.cfg.Epoch) + 1
+	rowLen := len(c.assigned)
+	if c.hier {
+		rowLen += len(c.domains)
+	}
+	if need := len(c.capTrace) + epochs; cap(c.capTrace) < need {
+		grown := make([][]float64, len(c.capTrace), need)
+		copy(grown, c.capTrace)
+		c.capTrace = grown
+	}
+	if c.hier {
+		if need := len(c.domainTrace) + epochs; cap(c.domainTrace) < need {
+			grown := make([][]float64, len(c.domainTrace), need)
+			copy(grown, c.domainTrace)
+			c.domainTrace = grown
+		}
+	}
+	if len(c.arena) < epochs*rowLen {
+		c.arena = make([]float64, epochs*rowLen)
 	}
 }
 
@@ -454,9 +708,56 @@ func (c *Coordinator) NodeDomains() []string {
 	return out
 }
 
+// CheckInvariants verifies the coordinator's structural invariants — the
+// lockstep clock identity, budget conservation at every tree level, the
+// per-node floor, and trace row alignment. Valid immediately after any
+// successful Step; experiment cells and the property tests call it after
+// every epoch so a violation names its first occurrence.
+func (c *Coordinator) CheckInvariants() error {
+	if err := c.checkLockstep(); err != nil {
+		return err
+	}
+	const eps = 1e-6
+	if c.root.budget != c.budget {
+		return fmt.Errorf("cluster: root domain budget %.9g != global budget %.9g", c.root.budget, c.budget)
+	}
+	for _, d := range c.domains {
+		if d.leaf() {
+			sum := 0.0
+			for i := d.lo; i < d.hi; i++ {
+				sum += c.assigned[i]
+				if c.assigned[i] < c.floor-eps {
+					return fmt.Errorf("cluster: node %d cap %.9g W below the %.9g W floor", i, c.assigned[i], c.floor)
+				}
+			}
+			if math.Abs(sum-d.budget) > eps*math.Max(1, d.budget) {
+				return fmt.Errorf("cluster: leaf %s caps sum to %.9g W, budget is %.9g W", d.name, sum, d.budget)
+			}
+			continue
+		}
+		sum := 0.0
+		for _, ch := range d.children {
+			sum += ch.budget
+		}
+		if math.Abs(sum-d.budget) > eps*math.Max(1, d.budget) {
+			return fmt.Errorf("cluster: domain %s children sum to %.9g W, budget is %.9g W", d.name, sum, d.budget)
+		}
+	}
+	if c.hier && len(c.domainTrace) != len(c.capTrace) {
+		return fmt.Errorf("cluster: %d cap-trace rows vs %d domain-trace rows", len(c.capTrace), len(c.domainTrace))
+	}
+	return nil
+}
+
 // Result assembles the cluster outcome over everything simulated so far.
 func (c *Coordinator) Result() *Result {
 	res := &Result{Policy: c.cfg.Policy.Name(), CapTrace: c.capTrace}
+	if len(c.healthEvents) > 0 {
+		res.HealthEvents = append([]HealthEvent(nil), c.healthEvents...)
+	}
+	if len(c.chaos.events) > 0 {
+		res.ChaosEvents = append([]ChaosEvent(nil), c.chaos.events...)
+	}
 	if c.hier {
 		res.DomainNames = make([]string, len(c.domains))
 		for i, d := range c.domains {

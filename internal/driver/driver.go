@@ -218,7 +218,7 @@ func buildWorld(s Scenario) (*world, *sim.Runner, error) {
 	if s.Controller == nil {
 		return nil, nil, errors.New("driver: scenario has no controller")
 	}
-	if err := s.Faults.Validate(); err != nil {
+	if err := s.Faults.ValidateNodeScoped(); err != nil {
 		return nil, nil, err
 	}
 	apps, err := workload.NewInstances(s.Specs)

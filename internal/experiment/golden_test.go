@@ -99,6 +99,21 @@ func TestGoldenHierarchyTable(t *testing.T) {
 	checkGolden(t, "hierarchy_quick.csv", goldenCSV(tableHierarchyFrom(d)))
 }
 
+// TestGoldenChaosClusterTable pins the quick-config fleet chaos grid — 2
+// adaptive policies x 6 fault profiles x naive/quarantine coordinators at
+// 8 nodes — byte for byte. The table is the PR's acceptance evidence: the
+// quarantine rows recover the budget the naive rows leave stranded.
+func TestGoldenChaosClusterTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the quick fleet chaos grid")
+	}
+	d, err := ChaosClusterOpts(context.Background(), quickCfg(), RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "chaoscluster_quick.csv", goldenCSV(tableChaosClusterFrom(d)))
+}
+
 // TestGoldenClusterTable pins the quick-config cluster-policy comparison —
 // the 3 policies x 3 cluster sizes grid under the budget ramp — byte for
 // byte.

@@ -47,6 +47,21 @@ const (
 	TargetController Target = "controller"
 )
 
+// Cluster-scoped targets: the failure surface a fleet coordinator sees.
+// These scenarios attack a node's membership in the coordination epoch —
+// not any single sensor or actuator inside it — so they are injected
+// through a cluster coordinator (per node or per budget domain) and the
+// node-level Injector rejects them.
+const (
+	// TargetNode is the node as a whole: crash, hang, and flapping
+	// scenarios stop its session from advancing through coordinator
+	// epochs.
+	TargetNode Target = "node"
+	// TargetDemand is the node's demand report — the mean-power signal
+	// the coordinator's policies split budget on.
+	TargetDemand Target = "demand-report"
+)
+
 // Kind names a failure mode.
 type Kind string
 
@@ -75,6 +90,27 @@ const (
 	// KindStall stops the decision framework from producing configurations
 	// for the scenario's duration.
 	KindStall Kind = "stall"
+)
+
+// Cluster-scoped failure modes (TargetNode / TargetDemand).
+const (
+	// KindCrash kills the node for the scenario's duration: its session
+	// stops advancing and it reports zero demand — the coordinator's view
+	// of a kernel panic or a pulled power cord.
+	KindCrash Kind = "crash"
+	// KindHang wedges the node: the session stops advancing but its last
+	// demand report keeps being served, so an adaptive policy keeps
+	// feeding watts to a machine doing no work — the stranded-budget
+	// failure mode quarantine exists to reclaim.
+	KindHang Kind = "hang"
+	// KindFlap alternates the node between dead and alive with period
+	// Magnitude seconds, starting dead at onset — the crash-looping node
+	// that tests quarantine's exponential-backoff re-admission.
+	KindFlap Kind = "flap"
+	// KindCorrupt scales the node's demand report by factor Magnitude
+	// (TargetDemand only): the node itself is healthy, but the signal the
+	// budget split runs on lies.
+	KindCorrupt Kind = "corrupt"
 )
 
 // ErrInvalidScenario reports a scenario that fails validation. Serving
@@ -119,6 +155,10 @@ var kindTargets = map[Kind][]Target{
 	KindDelay:      {TargetConfig},
 	KindMisprogram: {TargetRAPLCap, TargetRAPLWindow},
 	KindStall:      {TargetController},
+	KindCrash:      {TargetNode},
+	KindHang:       {TargetNode},
+	KindFlap:       {TargetNode},
+	KindCorrupt:    {TargetDemand},
 }
 
 // Validate rejects malformed scenarios: unknown kinds and targets,
@@ -160,12 +200,25 @@ func (sc Scenario) Validate() error {
 		if sc.Magnitude <= 0 || sc.Magnitude >= 1 {
 			return bad("partial magnitude is an applied fraction in (0, 1)")
 		}
-	case KindSpike, KindLatency, KindDelay, KindMisprogram:
+	case KindSpike, KindLatency, KindDelay, KindMisprogram, KindCorrupt:
 		if sc.Magnitude <= 0 {
 			return bad("%s magnitude must be positive", sc.Kind)
 		}
+	case KindFlap:
+		if sc.Magnitude <= 0 {
+			return bad("flap magnitude is an alternation period in seconds and must be positive")
+		}
 	}
 	return nil
+}
+
+// ClusterScoped reports whether the scenario targets fleet-level
+// coordination (node membership or demand reporting) rather than a single
+// machine's sensors and actuators. Cluster-scoped scenarios are injected
+// through a cluster coordinator; the node-level Injector rejects them so
+// they cannot be scheduled somewhere they would silently do nothing.
+func (sc Scenario) ClusterScoped() bool {
+	return sc.Target == TargetNode || sc.Target == TargetDemand
 }
 
 // Profile is a composable chaos schedule: any number of scenarios, possibly
@@ -177,6 +230,22 @@ func (p Profile) Validate() error {
 	for _, sc := range p {
 		if err := sc.Validate(); err != nil {
 			return err
+		}
+	}
+	return nil
+}
+
+// ValidateNodeScoped checks every scenario and additionally rejects
+// cluster-scoped ones — the validation node-level boundaries (a driver
+// scenario, the node fault API) apply so a crash/hang/flap/corrupt
+// scenario cannot be scheduled where it would silently do nothing.
+func (p Profile) ValidateNodeScoped() error {
+	for _, sc := range p {
+		if err := sc.Validate(); err != nil {
+			return err
+		}
+		if sc.ClusterScoped() {
+			return fmt.Errorf("faults: %s: cluster-scoped scenario on a node: %w", sc, ErrInvalidScenario)
 		}
 	}
 	return nil

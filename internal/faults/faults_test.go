@@ -22,6 +22,10 @@ func TestScenarioValidate(t *testing.T) {
 		{Kind: KindMisprogram, Target: TargetRAPLCap, Duration: time.Second, Magnitude: 1.4},
 		{Kind: KindMisprogram, Target: TargetRAPLWindow, Duration: time.Second, Magnitude: 10},
 		{Kind: KindStall, Target: TargetController, Duration: time.Second},
+		{Kind: KindCrash, Target: TargetNode, Duration: time.Second},
+		{Kind: KindHang, Target: TargetNode, Duration: time.Second},
+		{Kind: KindFlap, Target: TargetNode, Duration: time.Minute, Magnitude: 2},
+		{Kind: KindCorrupt, Target: TargetDemand, Duration: time.Second, Magnitude: 4},
 	}
 	for _, sc := range valid {
 		if err := sc.Validate(); err != nil {
@@ -45,6 +49,10 @@ func TestScenarioValidate(t *testing.T) {
 		{"partial fraction one", Scenario{Kind: KindPartial, Target: TargetConfig, Duration: time.Second, Magnitude: 1}},
 		{"spike without magnitude", Scenario{Kind: KindSpike, Target: TargetPowerSensor, Duration: time.Second}},
 		{"negative magnitude", Scenario{Kind: KindSpike, Target: TargetPowerSensor, Duration: time.Second, Magnitude: -1}},
+		{"crash cannot hit sensors", Scenario{Kind: KindCrash, Target: TargetPowerSensor, Duration: time.Second}},
+		{"flap without period", Scenario{Kind: KindFlap, Target: TargetNode, Duration: time.Second}},
+		{"corrupt without factor", Scenario{Kind: KindCorrupt, Target: TargetDemand, Duration: time.Second}},
+		{"corrupt cannot hit node", Scenario{Kind: KindCorrupt, Target: TargetNode, Duration: time.Second, Magnitude: 2}},
 	}
 	for _, tc := range invalid {
 		err := tc.sc.Validate()
@@ -112,6 +120,29 @@ func TestInjectorAdvanceLogsTransitions(t *testing.T) {
 	}
 	if inj.ActiveCount(1500*time.Millisecond) != 1 || inj.ActiveCount(0) != 0 {
 		t.Error("ActiveCount wrong")
+	}
+}
+
+func TestClusterScopedGating(t *testing.T) {
+	crash := Scenario{Kind: KindCrash, Target: TargetNode, Duration: time.Second}
+	stall := Scenario{Kind: KindStall, Target: TargetController, Duration: time.Second}
+	if !crash.ClusterScoped() || stall.ClusterScoped() {
+		t.Errorf("ClusterScoped: crash=%v stall=%v, want true/false", crash.ClusterScoped(), stall.ClusterScoped())
+	}
+	if !(Scenario{Kind: KindCorrupt, Target: TargetDemand, Duration: time.Second, Magnitude: 2}).ClusterScoped() {
+		t.Error("demand-report corruption not cluster-scoped")
+	}
+	// Node-level entry points must refuse cluster-scoped scenarios: they
+	// mean nothing to a single machine's injector.
+	if err := (Profile{stall, crash}).ValidateNodeScoped(); !errors.Is(err, ErrInvalidScenario) {
+		t.Errorf("ValidateNodeScoped accepted a crash scenario: %v", err)
+	}
+	if err := (Profile{stall}).ValidateNodeScoped(); err != nil {
+		t.Errorf("ValidateNodeScoped rejected a node-scoped profile: %v", err)
+	}
+	inj := NewInjector(nil, sim.NewRNG(1))
+	if err := inj.Schedule(crash); !errors.Is(err, ErrInvalidScenario) {
+		t.Errorf("node injector scheduled a cluster-scoped scenario: %v", err)
 	}
 }
 

@@ -1,6 +1,7 @@
 package faults
 
 import (
+	"fmt"
 	"time"
 
 	"pupil/internal/machine"
@@ -57,6 +58,9 @@ func (inj *Injector) now() time.Duration {
 func (inj *Injector) Schedule(sc Scenario) error {
 	if err := sc.Validate(); err != nil {
 		return err
+	}
+	if sc.ClusterScoped() {
+		return fmt.Errorf("faults: %s: cluster-scoped scenario on a node injector: %w", sc, ErrInvalidScenario)
 	}
 	inj.scenarios = append(inj.scenarios, sc)
 	inj.active = append(inj.active, false)

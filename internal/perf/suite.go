@@ -227,9 +227,11 @@ func clusterEpochScale(b *testing.B, n int, topo *server.ClusterTopologyConfig) 
 	if err != nil {
 		b.Fatal(err)
 	}
-	// Warm through a full parent-rebalance cadence so first-occurrence lazy
-	// growth (parent scratch, trace capacity) is outside the timer.
-	for i := 0; i < 6; i++ {
+	// Warm through several parent-rebalance cadences so first-occurrence
+	// lazy growth (parent scratch, trace capacity, worker-pool scheduler
+	// state) is outside the timer — short-benchtime runs would otherwise
+	// read one alloc/op higher than long ones from the amortized remainder.
+	for i := 0; i < 40; i++ {
 		if !c.StepOnce() {
 			b.Fatal("cluster stopped during warm-up")
 		}

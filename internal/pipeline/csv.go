@@ -19,7 +19,7 @@ type CSV struct {
 	row    []string
 }
 
-var csvHeader = []string{"sim_s", "family", "cluster", "domain", "node", "zone", "value"}
+var csvHeader = []string{"sim_s", "family", "cluster", "domain", "node", "state", "zone", "value"}
 
 // NewCSV returns a CSV sink over w.
 func NewCSV(w io.Writer) *CSV {
@@ -46,8 +46,9 @@ func (s *CSV) Write(batch []Sample) error {
 		s.row[2] = smp.Cluster
 		s.row[3] = smp.Domain
 		s.row[4] = smp.Node
-		s.row[5] = smp.Zone
-		s.row[6] = strconv.FormatFloat(smp.Value, 'g', -1, 64)
+		s.row[5] = smp.State
+		s.row[6] = smp.Zone
+		s.row[7] = strconv.FormatFloat(smp.Value, 'g', -1, 64)
 		if err := s.w.Write(s.row); err != nil {
 			return err
 		}

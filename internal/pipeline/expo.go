@@ -97,6 +97,10 @@ func (e *Exposition) Flush() error { return nil }
 func (e *Exposition) Close() error { return nil }
 
 func seriesKey(s Sample) string {
+	// State is deliberately not part of the key: a health-state sample
+	// identifies its series by node, and the state label carries the
+	// current value's annotation — so a node's transitions update one
+	// series instead of leaking one dead series per visited state.
 	return s.Family + "\x00" + s.Cluster + "\x00" + s.Domain + "\x00" + s.Node + "\x00" + s.Zone + "\x00" + s.Sink
 }
 
@@ -171,13 +175,15 @@ func appendSample(buf []byte, s Sample) []byte {
 }
 
 // appendLabels serializes the non-empty labels in fixed cluster, domain,
-// node, zone, sink order (matching the pre-pipeline exporter's byte
-// layout; domain only appears on hierarchical-coordination families).
+// node, state, zone, sink order (matching the pre-pipeline exporter's
+// byte layout; domain only appears on hierarchical-coordination families
+// and state only on fleet health families).
 func appendLabels(buf []byte, s Sample) []byte {
 	labels := [...]struct{ k, v string }{
 		{"cluster", s.Cluster},
 		{"domain", s.Domain},
 		{"node", s.Node},
+		{"state", s.State},
 		{"zone", s.Zone},
 		{"sink", s.Sink},
 	}

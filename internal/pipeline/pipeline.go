@@ -51,14 +51,17 @@ type MetricFamily struct {
 type Sample struct {
 	// Family is the metric family name, e.g. "pupil_power_watts".
 	Family string `json:"family"`
-	// Cluster, Domain, Node, Zone, and Sink are the label set, in the
-	// label order sinks serialize. Domain names a cluster's budget domain
-	// ("dc", "row0", "rack3") for hierarchical coordination families; Zone
+	// Cluster, Domain, Node, State, Zone, and Sink are the label set, in
+	// the label order sinks serialize. Domain names a cluster's budget
+	// domain ("dc", "row0", "rack3") for hierarchical coordination
+	// families; State carries a node's health state ("healthy", "suspect",
+	// "quarantined", "recovering") on fleet fault-tolerance families; Zone
 	// carries RAPL-style power zones ("package_0", "package_0_core",
 	// "package_0_dram"); Sink labels the router's own accounting families.
 	Cluster string `json:"cluster,omitempty"`
 	Domain  string `json:"domain,omitempty"`
 	Node    string `json:"node,omitempty"`
+	State   string `json:"state,omitempty"`
 	Zone    string `json:"zone,omitempty"`
 	Sink    string `json:"sink,omitempty"`
 	// SimS is the simulated time the sample was taken at, in seconds.

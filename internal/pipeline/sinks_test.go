@@ -122,6 +122,11 @@ func TestCSVHeaderAndRows(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
+	if err := sink.Write([]Sample{
+		{Family: "pupil_cluster_node_health", Cluster: "c1", Node: "n0", State: "quarantined", SimS: 4, Value: 2},
+	}); err != nil {
+		t.Fatal(err)
+	}
 	if err := sink.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -133,9 +138,10 @@ func TestCSVHeaderAndRows(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := [][]string{
-		{"sim_s", "family", "cluster", "domain", "node", "zone", "value"},
-		{"2.5", "pupil_power_watts", "", "", "n1", "", "96.5"},
-		{"3", "pupil_power_watts", "c1", "", "comma,node", "package_0", "48"},
+		{"sim_s", "family", "cluster", "domain", "node", "state", "zone", "value"},
+		{"2.5", "pupil_power_watts", "", "", "n1", "", "", "96.5"},
+		{"3", "pupil_power_watts", "c1", "", "comma,node", "", "package_0", "48"},
+		{"4", "pupil_cluster_node_health", "c1", "", "n0", "quarantined", "", "2"},
 	}
 	if len(rows) != len(want) {
 		t.Fatalf("rows = %q", rows)

@@ -10,15 +10,18 @@ package server
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log"
 	"runtime/debug"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"pupil/internal/cluster"
 	"pupil/internal/core"
+	"pupil/internal/faults"
 	"pupil/internal/machine"
 	"pupil/internal/pipeline"
 	"pupil/internal/telemetry"
@@ -64,6 +67,45 @@ type ClusterTopologyConfig struct {
 	RebalanceEvery int `json:"rebalance_every,omitempty"`
 }
 
+// ClusterHealthConfig enables and tunes fleet health tracking; see
+// cluster.HealthConfig for field semantics. Its presence in a
+// ClusterConfig — even empty, taking every default — turns quarantine on;
+// omitting it keeps the naive coordinator and byte-identical output.
+type ClusterHealthConfig struct {
+	SuspectEpochs    int     `json:"suspect_epochs,omitempty"`
+	RecoverEpochs    int     `json:"recover_epochs,omitempty"`
+	ProbeAfterEpochs int     `json:"probe_after_epochs,omitempty"`
+	MaxBackoffEpochs int     `json:"max_backoff_epochs,omitempty"`
+	OverCapFrac      float64 `json:"over_cap_frac,omitempty"`
+	StaleEpochs      int     `json:"stale_epochs,omitempty"`
+}
+
+func (h *ClusterHealthConfig) engine() *cluster.HealthConfig {
+	if h == nil {
+		return nil
+	}
+	return &cluster.HealthConfig{
+		SuspectEpochs:    h.SuspectEpochs,
+		RecoverEpochs:    h.RecoverEpochs,
+		ProbeAfterEpochs: h.ProbeAfterEpochs,
+		MaxBackoffEpochs: h.MaxBackoffEpochs,
+		OverCapFrac:      h.OverCapFrac,
+		StaleEpochs:      h.StaleEpochs,
+	}
+}
+
+// ClusterFaultConfig is the API form of one cluster fault: the scenario
+// plus its target — one node by index, or every node of a named budget
+// domain (the rack-correlated failure). Exactly one of Node and Domain
+// must be set. Cluster-scoped kinds ("crash"/"hang"/"flap" on target
+// "node", "corrupt" on "demand-report") hit the coordinator's epoch
+// loop; node-scoped kinds forward into the member node's own injector.
+type ClusterFaultConfig struct {
+	FaultConfig
+	Node   *int   `json:"node,omitempty"`
+	Domain string `json:"domain,omitempty"`
+}
+
 // ClusterConfig describes a cluster to create.
 type ClusterConfig struct {
 	// Name is an optional human label; the manager assigns the ID.
@@ -96,6 +138,12 @@ type ClusterConfig struct {
 	// Topology optionally arranges the nodes into hierarchical budget
 	// domains (rack -> row -> datacenter).
 	Topology *ClusterTopologyConfig `json:"topology,omitempty"`
+	// Health enables fleet health tracking and quarantine; omitted keeps
+	// the naive coordinator.
+	Health *ClusterHealthConfig `json:"health,omitempty"`
+	// Faults schedules cluster fault scenarios at creation; more can be
+	// injected later through POST /v1/clusters/{id}/faults.
+	Faults []ClusterFaultConfig `json:"faults,omitempty"`
 }
 
 // ClusterNodeStatus is the API view of one node of a cluster.
@@ -109,6 +157,10 @@ type ClusterNodeStatus struct {
 	// MeanPowerWatts and MeanRateHBs average the trailing epoch.
 	MeanPowerWatts float64 `json:"mean_power_watts"`
 	MeanRateHBs    float64 `json:"mean_rate_hbs"`
+	// Health is the node's health state ("healthy", "suspect",
+	// "quarantined", "recovering"); omitted when the cluster was created
+	// without health tracking.
+	Health string `json:"health,omitempty"`
 }
 
 // ClusterDomainStatus is the API view of one budget domain of a
@@ -152,6 +204,11 @@ type ClusterStatus struct {
 	// StreamDropped counts samples lost across all of this cluster's
 	// stream subscribers (including closed ones) to full ring buffers.
 	StreamDropped uint64 `json:"stream_dropped,omitempty"`
+	// Quarantined counts benched nodes (quarantined or probing) and
+	// ReclaimedWatts sums the budget reclaimed from them; both omitted
+	// when zero, so health-off output is unchanged.
+	Quarantined    int     `json:"quarantined,omitempty"`
+	ReclaimedWatts float64 `json:"reclaimed_watts,omitempty"`
 	// FailReason carries the panic message of a failed cluster.
 	FailReason string `json:"fail_reason,omitempty"`
 }
@@ -174,6 +231,12 @@ type ClusterSample struct {
 	// Domains carries per-domain budgets and fairness for hierarchical
 	// clusters; omitted for flat clusters.
 	Domains []ClusterDomainStatus `json:"domains,omitempty"`
+	// NodeHealth is each node's health state; omitted (with Quarantined
+	// and ReclaimedWatts) for clusters created without health tracking,
+	// keeping their stream output byte-identical.
+	NodeHealth     []string `json:"node_health,omitempty"`
+	Quarantined    int      `json:"quarantined,omitempty"`
+	ReclaimedWatts float64  `json:"reclaimed_watts,omitempty"`
 	// Dropped counts samples this subscriber lost to a full buffer; it is
 	// filled in by the streaming layer, not the producer.
 	Dropped uint64 `json:"dropped,omitempty"`
@@ -184,9 +247,14 @@ func domainStatuses(ds []cluster.DomainSnapshot) []ClusterDomainStatus {
 	if len(ds) == 0 {
 		return nil
 	}
-	out := make([]ClusterDomainStatus, len(ds))
-	for i, d := range ds {
-		out[i] = ClusterDomainStatus{
+	return domainStatusesInto(make([]ClusterDomainStatus, 0, len(ds)), ds)
+}
+
+// domainStatusesInto appends the converted snapshots to dst, so the epoch
+// loop can reuse one buffer instead of allocating per epoch.
+func domainStatusesInto(dst []ClusterDomainStatus, ds []cluster.DomainSnapshot) []ClusterDomainStatus {
+	for _, d := range ds {
+		dst = append(dst, ClusterDomainStatus{
 			Name:           d.Name,
 			Level:          d.Level,
 			Parent:         d.Parent,
@@ -194,9 +262,58 @@ func domainStatuses(ds []cluster.DomainSnapshot) []ClusterDomainStatus {
 			BudgetWatts:    d.BudgetWatts,
 			MeanPowerWatts: d.MeanPowerWatts,
 			FairShareMin:   d.FairShareMin,
-		}
+		})
 	}
-	return out
+	return dst
+}
+
+// ClusterFaultEvent is the API view of one cluster fault transition —
+// onset or clearance — on one node.
+type ClusterFaultEvent struct {
+	SimS   float64 `json:"sim_s"`
+	Node   int     `json:"node"`
+	Fault  string  `json:"fault"`
+	Active bool    `json:"active"`
+}
+
+// ClusterHealthEvent is the API view of one node health transition.
+type ClusterHealthEvent struct {
+	SimS   float64 `json:"sim_s"`
+	Node   int     `json:"node"`
+	From   string  `json:"from"`
+	To     string  `json:"to"`
+	Reason string  `json:"reason"`
+}
+
+// ClusterNodeFaults lists one node's scheduled fault scenarios,
+// cluster-scoped first, onsets in absolute simulated time.
+type ClusterNodeFaults struct {
+	Node      int           `json:"node"`
+	Scenarios []FaultConfig `json:"scenarios"`
+	Active    int           `json:"active"`
+}
+
+// ClusterFaultInfo is the API view of a cluster's fault-injection and
+// fleet-health state. The health fields are present only for clusters
+// created with health tracking.
+type ClusterFaultInfo struct {
+	// Nodes lists every node with at least one scheduled scenario.
+	Nodes []ClusterNodeFaults `json:"nodes"`
+	// Active counts scenarios currently in effect across the cluster.
+	Active int `json:"active"`
+	// Events logs fault onsets and clearances observed so far, in time
+	// order (cluster-scoped transitions at epoch boundaries, node-scoped
+	// ones on the member node's own clock).
+	Events []ClusterFaultEvent `json:"events"`
+	// Health is each node's current health state, indexed like Nodes in
+	// the cluster status.
+	Health []string `json:"health,omitempty"`
+	// HealthEvents logs node health transitions.
+	HealthEvents []ClusterHealthEvent `json:"health_events,omitempty"`
+	// Quarantined counts benched nodes; ReclaimedWatts sums the budget
+	// reclaimed from them.
+	Quarantined    int     `json:"quarantined,omitempty"`
+	ReclaimedWatts float64 `json:"reclaimed_watts,omitempty"`
 }
 
 // Cluster is one live coordinator owned by the manager: its epoch loop, the
@@ -213,12 +330,23 @@ type Cluster struct {
 	tickReal    time.Duration
 	maxSim      time.Duration
 
-	mu         sync.Mutex // guards coord, last, lastSnap, state, failReason
+	// healthOn records whether the cluster was created with fleet health
+	// tracking, so failed clusters can still answer without the coordinator.
+	healthOn bool
+
+	mu         sync.Mutex // guards coord, lastSnap, state, failReason, epoch bufs
 	coord      *cluster.Coordinator
-	last       ClusterSample
 	lastSnap   cluster.Snapshot // last coherent snapshot, for failed clusters
 	state      State
 	failReason string
+
+	// Per-epoch scratch reused by advance so the steady-state epoch path
+	// stays allocation-free; the built sample aliases these buffers and is
+	// deep-copied only when stream subscribers will retain it.
+	capsBuf   []float64
+	powerBuf  []float64
+	domBuf    []ClusterDomainStatus
+	healthBuf []string
 
 	epoch  atomic.Uint64
 	fan    *telemetry.Fanout[ClusterSample]
@@ -241,8 +369,13 @@ func (c *Cluster) Epoch() uint64 { return c.epoch.Load() }
 func (c *Cluster) Done() <-chan struct{} { return c.done }
 
 // Subscribe registers an epoch-stream subscriber with the given ring-buffer
-// capacity. The subscriber's channel closes when the cluster stops.
+// capacity. The subscriber's channel closes when the cluster stops. It takes
+// the cluster lock so registration is ordered against the epoch loop's
+// publish: a sample built while no subscriber existed aliases reused
+// buffers, and must never reach a ring that outlives the epoch.
 func (c *Cluster) Subscribe(buffer int) *telemetry.Subscriber[ClusterSample] {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return c.fan.Subscribe(buffer)
 }
 
@@ -271,6 +404,100 @@ func (c *Cluster) SetNodeCap(i int, watts float64) error {
 	return c.coord.SetNodeCap(i, watts)
 }
 
+// InjectFault schedules a fault scenario against one node or a whole
+// budget domain of a running cluster, onset relative to the cluster's
+// current simulated time.
+func (c *Cluster) InjectFault(f ClusterFaultConfig) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.state != StateRunning {
+		return fmt.Errorf("%w: cluster %s is %s", ErrNotRunning, c.id, c.state)
+	}
+	return c.injectLocked(f)
+}
+
+// injectLocked routes one fault to its target, mapping engine errors to
+// the API error taxonomy. Callers hold c.mu (or own the cluster solely).
+func (c *Cluster) injectLocked(f ClusterFaultConfig) error {
+	switch {
+	case f.Node != nil && f.Domain != "":
+		return fmt.Errorf("%w: fault targets both node and domain", ErrBadConfig)
+	case f.Node == nil && f.Domain == "":
+		return fmt.Errorf("%w: fault needs a node or domain target", ErrBadConfig)
+	case f.Node != nil:
+		i := *f.Node
+		if i < 0 || i >= c.coord.NodeCount() {
+			return fmt.Errorf("%w: cluster %s has no node %d", ErrNotFound, c.id, i)
+		}
+		if err := c.coord.InjectNodeFault(i, f.scenario()); err != nil {
+			return fmt.Errorf("%w: %v", ErrBadConfig, err)
+		}
+		return nil
+	default:
+		if _, err := c.coord.InjectDomainFault(f.Domain, f.scenario()); err != nil {
+			if errors.Is(err, faults.ErrInvalidScenario) {
+				return fmt.Errorf("%w: %v", ErrBadConfig, err)
+			}
+			return fmt.Errorf("%w: %v", ErrNotFound, err)
+		}
+		return nil
+	}
+}
+
+// FaultInfo reports the cluster's scheduled faults, observed transitions,
+// and — when health tracking is on — the fleet health view.
+func (c *Cluster) FaultInfo() ClusterFaultInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	info := ClusterFaultInfo{Nodes: []ClusterNodeFaults{}, Events: []ClusterFaultEvent{}}
+	if c.state == StateFailed {
+		return info
+	}
+	n := c.coord.NodeCount()
+	for i := 0; i < n; i++ {
+		var scs []FaultConfig
+		for _, sc := range c.coord.NodeFaults(i) {
+			scs = append(scs, faultConfigOf(sc))
+		}
+		for _, sc := range c.coord.NodeSessionFaults(i) {
+			scs = append(scs, faultConfigOf(sc))
+		}
+		if len(scs) == 0 {
+			continue
+		}
+		act := c.coord.NodeFaultsActive(i) + c.coord.NodeSessionFaultsActive(i)
+		info.Nodes = append(info.Nodes, ClusterNodeFaults{Node: i, Scenarios: scs, Active: act})
+		info.Active += act
+	}
+	for _, ev := range c.coord.ChaosEvents() {
+		info.Events = append(info.Events, ClusterFaultEvent{SimS: ev.T.Seconds(), Node: ev.Node, Fault: ev.Scenario.String(), Active: ev.Active})
+	}
+	for i := 0; i < n; i++ {
+		for _, ev := range c.coord.NodeSessionFaultEvents(i) {
+			info.Events = append(info.Events, ClusterFaultEvent{SimS: ev.T.Seconds(), Node: i, Fault: ev.Scenario.String(), Active: ev.Active})
+		}
+	}
+	sort.SliceStable(info.Events, func(a, b int) bool {
+		return info.Events[a].SimS < info.Events[b].SimS
+	})
+	if c.healthOn {
+		states := c.coord.HealthStates(nil)
+		info.Health = make([]string, len(states))
+		for i, s := range states {
+			info.Health[i] = s.String()
+		}
+		for _, ev := range c.coord.HealthEvents() {
+			info.HealthEvents = append(info.HealthEvents, ClusterHealthEvent{
+				SimS: ev.T.Seconds(), Node: ev.Node,
+				From: ev.From.String(), To: ev.To.String(), Reason: ev.Reason,
+			})
+		}
+		info.Quarantined = c.coord.QuarantinedCount()
+		info.ReclaimedWatts = c.coord.ReclaimedWatts()
+	}
+	return info
+}
+
 // Status reports the cluster's current state. A failed cluster reports its
 // last coherent snapshot rather than touching the broken coordinator.
 func (c *Cluster) Status() ClusterStatus {
@@ -293,10 +520,12 @@ func (c *Cluster) Status() ClusterStatus {
 		Domains:         domainStatuses(sn.Domains),
 		Subscribers:     c.fan.Subscribers(),
 		StreamDropped:   c.fan.TotalDropped(),
+		Quarantined:     sn.Quarantined,
+		ReclaimedWatts:  sn.ReclaimedWatts,
 		FailReason:      c.failReason,
 	}
 	for i, ns := range sn.Nodes {
-		st.Nodes = append(st.Nodes, ClusterNodeStatus{
+		ncs := ClusterNodeStatus{
 			Index:          i,
 			Name:           ns.Name,
 			Technique:      c.nodeTech[i],
@@ -304,7 +533,11 @@ func (c *Cluster) Status() ClusterStatus {
 			CapWatts:       ns.CapWatts,
 			MeanPowerWatts: ns.MeanPower,
 			MeanRateHBs:    ns.MeanRate,
-		})
+		}
+		if c.healthOn {
+			ncs.Health = ns.Health.String()
+		}
+		st.Nodes = append(st.Nodes, ncs)
 	}
 	return st
 }
@@ -327,11 +560,12 @@ func (c *Cluster) GrowTraces(d time.Duration) {
 }
 
 // tick steps one coordinator epoch and publishes the epoch sample. It
-// reports whether the loop should continue.
+// reports whether the loop should continue. The stream fan-out happens
+// inside advance, under the cluster lock; only the pipeline publish (which
+// copies the batch) runs outside it.
 func (c *Cluster) tick() bool {
 	smp, publish, cont := c.advance()
 	if publish {
-		c.fan.Publish(smp)
 		c.publishPipeline(smp)
 	}
 	return cont
@@ -362,8 +596,26 @@ func (c *Cluster) publishPipeline(smp ClusterSample) {
 	for i, capW := range smp.CapsWatts {
 		b = append(b, pipeline.Sample{Family: "pupil_cluster_node_cap_watts", Cluster: c.id, Domain: c.nodeDomain(i), Node: c.nodeName(i), SimS: smp.SimS, Value: capW})
 	}
+	if smp.NodeHealth != nil {
+		for i, h := range smp.NodeHealth {
+			b = append(b, pipeline.Sample{Family: "pupil_cluster_node_health", Cluster: c.id, Domain: c.nodeDomain(i), Node: c.nodeName(i), State: h, SimS: smp.SimS, Value: healthStateValue[h]})
+		}
+		b = append(b,
+			pipeline.Sample{Family: "pupil_cluster_quarantined", Cluster: c.id, SimS: smp.SimS, Value: float64(smp.Quarantined)},
+			pipeline.Sample{Family: "pupil_cluster_budget_reclaimed_watts", Cluster: c.id, SimS: smp.SimS, Value: smp.ReclaimedWatts})
+	}
 	c.router.PublishBatch(b)
 	c.pubBuf = b
+}
+
+// healthStateValue maps a health-state label back to its numeric level for
+// the pupil_cluster_node_health gauge (0 healthy .. 3 recovering), so
+// dashboards can alert on value >= 2 while keeping the label for humans.
+var healthStateValue = map[string]float64{
+	cluster.Healthy.String():     0,
+	cluster.Suspect.String():     1,
+	cluster.Quarantined.String(): 2,
+	cluster.Recovering.String():  3,
 }
 
 // nodeName returns node i's resolved name (the coordinator's label).
@@ -406,24 +658,55 @@ func (c *Cluster) advance() (smp ClusterSample, publish, cont bool) {
 		log.Printf("server: cluster %s failed: %v", c.id, err)
 		return ClusterSample{}, false, false
 	}
-	sn := c.coord.Snapshot()
-	c.lastSnap = sn
+	c.coord.SnapshotInto(&c.lastSnap)
+	sn := &c.lastSnap
+	caps, pow := c.capsBuf[:0], c.powerBuf[:0]
+	for _, ns := range sn.Nodes {
+		caps = append(caps, ns.CapWatts)
+		pow = append(pow, ns.MeanPower)
+	}
+	c.capsBuf, c.powerBuf = caps, pow
+	doms := domainStatusesInto(c.domBuf[:0], sn.Domains)
+	c.domBuf = doms
 	smp = ClusterSample{
 		Cluster:         c.id,
 		Epoch:           c.epoch.Add(1),
 		SimS:            sn.Now.Seconds(),
 		BudgetWatts:     sn.Budget,
-		CapsWatts:       make([]float64, len(sn.Nodes)),
-		NodePowerWatts:  make([]float64, len(sn.Nodes)),
+		CapsWatts:       caps,
+		NodePowerWatts:  pow,
 		TotalPowerWatts: sn.TotalPower,
 		TotalPerfHBs:    sn.TotalRate,
-		Domains:         domainStatuses(sn.Domains),
+		Quarantined:     sn.Quarantined,
+		ReclaimedWatts:  sn.ReclaimedWatts,
 	}
-	for i, ns := range sn.Nodes {
-		smp.CapsWatts[i] = ns.CapWatts
-		smp.NodePowerWatts[i] = ns.MeanPower
+	if len(doms) > 0 {
+		smp.Domains = doms
 	}
-	c.last = smp
+	if c.healthOn {
+		// HealthState.String returns interned constants, so this rebuild
+		// costs no allocations once the buffer has grown.
+		hs := c.healthBuf[:0]
+		for _, ns := range sn.Nodes {
+			hs = append(hs, ns.Health.String())
+		}
+		c.healthBuf = hs
+		smp.NodeHealth = hs
+	}
+	if c.fan.Subscribers() > 0 {
+		// Subscriber rings retain the sample past this epoch, so it must
+		// not alias the reused buffers. Subscribe takes the same lock, so
+		// no subscriber can appear between this check and the publish.
+		smp.CapsWatts = append([]float64(nil), caps...)
+		smp.NodePowerWatts = append([]float64(nil), pow...)
+		if smp.Domains != nil {
+			smp.Domains = append([]ClusterDomainStatus(nil), doms...)
+		}
+		if smp.NodeHealth != nil {
+			smp.NodeHealth = append([]string(nil), smp.NodeHealth...)
+		}
+	}
+	c.fan.Publish(smp)
 	if c.maxSim > 0 && sn.Now >= c.maxSim {
 		c.state = StateDone
 	}
@@ -663,12 +946,19 @@ func buildCluster(cfg ClusterConfig) (*Cluster, error) {
 		FloorWatts:  cfg.FloorWatts,
 		Parallel:    cfg.Parallel,
 		Topology:    topo,
+		Health:      cfg.Health.engine(),
 	})
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
 	}
 	c.coord = coord
+	c.healthOn = cfg.Health != nil
 	c.nodeDomains = coord.NodeDomains()
 	c.lastSnap = coord.Snapshot()
+	for i, f := range cfg.Faults {
+		if err := c.injectLocked(f); err != nil {
+			return nil, fmt.Errorf("cluster fault %d: %w", i, err)
+		}
+	}
 	return c, nil
 }

@@ -21,6 +21,8 @@ func (s *Server) clusterRoutes() {
 	s.mux.HandleFunc("PUT /v1/clusters/{id}/nodes/{index}/cap", s.handleSetClusterNodeCap)
 	s.mux.HandleFunc("DELETE /v1/clusters/{id}", s.handleDeleteCluster)
 	s.mux.HandleFunc("GET /v1/clusters/{id}/stream", s.handleClusterStream)
+	s.mux.HandleFunc("POST /v1/clusters/{id}/faults", s.handleInjectClusterFault)
+	s.mux.HandleFunc("GET /v1/clusters/{id}/faults", s.handleClusterFaults)
 }
 
 func (s *Server) clusterOf(w http.ResponseWriter, r *http.Request) (*Cluster, bool) {
@@ -105,6 +107,35 @@ func (s *Server) handleSetClusterNodeCap(w http.ResponseWriter, r *http.Request)
 		return
 	}
 	writeJSON(w, http.StatusOK, c.Status())
+}
+
+// handleInjectClusterFault schedules a fault against one node or a whole
+// budget domain of a running cluster — the cluster-level mirror of POST
+// /v1/nodes/{id}/faults, with the same status-code taxonomy (400 invalid
+// scenario or target, 404 unknown node index or domain, 409 not running).
+func (s *Server) handleInjectClusterFault(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.clusterOf(w, r)
+	if !ok {
+		return
+	}
+	var f ClusterFaultConfig
+	if err := decodeStrict(r.Body, &f); err != nil {
+		writeError(w, fmt.Errorf("%w: %v", ErrBadConfig, err))
+		return
+	}
+	if err := c.InjectFault(f); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, c.FaultInfo())
+}
+
+func (s *Server) handleClusterFaults(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.clusterOf(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, c.FaultInfo())
 }
 
 func (s *Server) handleDeleteCluster(w http.ResponseWriter, r *http.Request) {

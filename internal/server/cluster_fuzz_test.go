@@ -74,7 +74,7 @@ func FuzzCreateClusterDecoder(f *testing.F) {
 
 // fuzzCluster creates one nearly-idle 2-node cluster (hour-long wall ticks)
 // shared by all executions of a mutation fuzz target.
-func fuzzCluster(f *testing.F, mgr *Manager) *Cluster {
+func fuzzCluster(tb testing.TB, mgr *Manager) *Cluster {
 	c, err := mgr.CreateCluster(ClusterConfig{
 		BudgetWatts: 300,
 		TickRealMS:  3_600_000,
@@ -85,7 +85,7 @@ func fuzzCluster(f *testing.F, mgr *Manager) *Cluster {
 		},
 	})
 	if err != nil {
-		f.Fatal(err)
+		tb.Fatal(err)
 	}
 	return c
 }
@@ -126,6 +126,78 @@ func FuzzClusterBudgetDecoder(f *testing.F) {
 		}
 		if !json.Valid([]byte(body)) && rec.Code != http.StatusBadRequest {
 			t.Fatalf("set budget: invalid JSON %q got status %d, want 400", body, rec.Code)
+		}
+	})
+}
+
+// FuzzClusterFaultDecoder drives the cluster fault endpoint: the decoder
+// must hold the same contract as the others (no panic, malformed bodies
+// are 400 with a JSON error body) plus the fault taxonomy — unknown node
+// index or domain is 404, scenario validation failures are 400, and any
+// accepted scenario really joins the schedule (201 with a fault info
+// body).
+func FuzzClusterFaultDecoder(f *testing.F) {
+	mgr := NewManager()
+	f.Cleanup(func() { mgr.Close() })
+	h := New(mgr).Handler()
+	c := fuzzCluster(f, mgr)
+
+	seeds := []string{
+		`{"kind":"crash","target":"node","duration_s":5,"node":0}`,
+		`{"kind":"hang","target":"node","onset_s":2,"duration_s":5,"node":1}`,
+		`{"kind":"flap","target":"node","duration_s":10,"magnitude":2,"node":0}`,
+		`{"kind":"corrupt","target":"demand-report","duration_s":5,"magnitude":4,"domain":"cluster"}`,
+		`{"kind":"crash","target":"node","duration_s":5,"domain":"cluster"}`,
+		`{"kind":"stall","target":"controller","duration_s":2,"node":0}`,
+		`{"kind":"stuck","target":"power-sensor","duration_s":3,"magnitude":80,"node":1}`,
+		`{"kind":"crash","target":"node","duration_s":5,"node":7}`,
+		`{"kind":"crash","target":"node","duration_s":5,"node":-1}`,
+		`{"kind":"crash","target":"node","duration_s":5,"domain":"rack9"}`,
+		`{"kind":"crash","target":"node","duration_s":5,"node":0,"domain":"cluster"}`,
+		`{"kind":"crash","target":"node","duration_s":5}`,
+		`{"kind":"melt","target":"node","duration_s":5,"node":0}`,
+		`{"kind":"flap","target":"node","duration_s":5,"node":0}`,
+		`{"kind":"crash","target":"node","duration_s":-1,"node":0}`,
+		`{"kind":"crash","target":"node","duration_s":5,"node":0,"bogus":1}`,
+		`{"kind":"crash","target":"node","duration_s":5,"node":0}{}`,
+		`{"node":0}`,
+		`{`,
+		``,
+		`null`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	injected := 0
+	f.Fuzz(func(t *testing.T, body string) {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodPost, "/v1/clusters/"+c.ID()+"/faults", strings.NewReader(body))
+		h.ServeHTTP(rec, req)
+		switch rec.Code {
+		case http.StatusCreated:
+			var info ClusterFaultInfo
+			if err := json.Unmarshal(rec.Body.Bytes(), &info); err != nil {
+				t.Fatalf("201 with undecodable fault info %q", rec.Body.String())
+			}
+			if len(info.Nodes) == 0 {
+				t.Fatalf("201 but no scheduled scenario listed: %q", rec.Body.String())
+			}
+			// Accepted scenarios accumulate on the shared cluster's schedule;
+			// roll it over periodically so a long fuzz session stays bounded.
+			if injected++; injected%256 == 0 {
+				if err := mgr.DeleteCluster(c.ID()); err != nil {
+					t.Fatal(err)
+				}
+				c = fuzzCluster(t, mgr)
+			}
+		case http.StatusBadRequest, http.StatusNotFound:
+			mustErrorBody(t, rec)
+		default:
+			t.Fatalf("inject cluster fault: status %d for body %q", rec.Code, body)
+		}
+		if !json.Valid([]byte(body)) && rec.Code != http.StatusBadRequest {
+			t.Fatalf("inject cluster fault: invalid JSON %q got status %d, want 400", body, rec.Code)
 		}
 	})
 }

@@ -108,6 +108,9 @@ var clusterFamilies = []pipeline.MetricFamily{
 	{Name: "pupil_cluster_domain_budget_watts", Help: "Budget delegated to one hierarchical budget domain, in Watts.", Kind: pipeline.Gauge},
 	{Name: "pupil_cluster_domain_power_watts", Help: "Mean power of one budget domain's member nodes over the trailing epoch, in Watts.", Kind: pipeline.Gauge},
 	{Name: "pupil_cluster_domain_fair_share_min", Help: "Minimum node cap over fair even share within one budget domain.", Kind: pipeline.Gauge},
+	{Name: "pupil_cluster_node_health", Help: "Health state of one cluster node (0 healthy, 1 suspect, 2 quarantined, 3 recovering), labeled with the state name.", Kind: pipeline.Gauge},
+	{Name: "pupil_cluster_quarantined", Help: "Cluster nodes currently benched (quarantined or probing).", Kind: pipeline.Gauge},
+	{Name: "pupil_cluster_budget_reclaimed_watts", Help: "Budget reclaimed from benched nodes and redistributed to healthy ones, in Watts.", Kind: pipeline.Gauge},
 	{Name: "pupil_cluster_epochs_total", Help: "Coordinator epochs the cluster has stepped.", Kind: pipeline.Counter},
 	{Name: "pupil_cluster_stream_dropped_total", Help: "Samples dropped across the cluster's stream subscribers by full ring buffers.", Kind: pipeline.Counter},
 	{Name: "pupil_clusters_failed", Help: "Clusters whose coordinators panicked and were isolated.", Kind: pipeline.Gauge},
@@ -155,6 +158,25 @@ func (c clusterCollector) Collect(out []pipeline.Sample) []pipeline.Sample {
 		for _, d := range st.Domains {
 			out = append(out, pipeline.Sample{Family: "pupil_cluster_domain_fair_share_min", Cluster: st.ID, Domain: d.Name, SimS: st.SimS, Value: d.FairShareMin})
 		}
+	}
+	// Health families render only for clusters created with health
+	// tracking, so a health-off deployment's scrape page is unchanged
+	// beyond the (always-present) family headers.
+	for i, st := range statuses {
+		if !clusters[i].healthOn {
+			continue
+		}
+		for _, n := range st.Nodes {
+			out = append(out, pipeline.Sample{Family: "pupil_cluster_node_health", Cluster: st.ID, Domain: clusters[i].nodeDomain(n.Index), Node: n.Name, State: n.Health, SimS: st.SimS, Value: healthStateValue[n.Health]})
+		}
+	}
+	for i, st := range statuses {
+		if !clusters[i].healthOn {
+			continue
+		}
+		out = append(out,
+			pipeline.Sample{Family: "pupil_cluster_quarantined", Cluster: st.ID, SimS: st.SimS, Value: float64(st.Quarantined)},
+			pipeline.Sample{Family: "pupil_cluster_budget_reclaimed_watts", Cluster: st.ID, SimS: st.SimS, Value: st.ReclaimedWatts})
 	}
 	gauge("pupil_cluster_epochs_total", func(st ClusterStatus) float64 { return float64(st.Epoch) })
 	gauge("pupil_cluster_stream_dropped_total", func(st ClusterStatus) float64 { return float64(st.StreamDropped) })
