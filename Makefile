@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test test-short race bench bench-baseline bench-scale bench-sweep
+.PHONY: check fmt vet build test test-short race bench bench-baseline bench-scale bench-sweep load load-baseline
 
 # check is the CI gate: formatting, static analysis, build, and the full
 # test suite under the race detector.
@@ -45,6 +45,22 @@ bench-scale:
 # quiet machine and commit the diff together with the change that moved it.
 bench-baseline:
 	$(GO) run ./cmd/bench -out BENCH_tick.json
+
+# load runs the 30-second quick capacity profile of cmd/pupilload against
+# an in-process pupild under the race detector and gates it against the
+# committed BENCH_load.json: any endpoint errors, a stream drop rate past
+# the budget, goroutine growth past the budget, or p50/p99 latency more
+# than 2x the baseline fails. The baseline is race-built, so the latency
+# comparison applies in CI; a non-race local run still gets the absolute
+# gates (CompareLoad skips relative latency across differing race flags).
+load:
+	$(GO) run -race ./cmd/pupilload -quick -baseline BENCH_load.json
+
+# load-baseline re-measures the quick profile and rewrites the committed
+# load baseline. Run on a quiet machine, under -race to match CI, and
+# commit the diff together with the change that moved it.
+load-baseline:
+	$(GO) run -race ./cmd/pupilload -quick -out BENCH_load.json
 
 # bench-sweep times the quick single-application grid sequentially and on
 # four workers, then prints the parallel-over-sequential speedup. On a

@@ -1,0 +1,168 @@
+// Command pupilload storms a pupild daemon with a synthetic client fleet
+// and writes the resulting capacity report as BENCH_load.json. With no
+// -addr it boots the daemon in-process (which also enables goroutine and
+// heap leak tracking); with -addr it storms a remote daemon over the wire.
+//
+// Typical uses:
+//
+//	pupilload -quick                                   # 30 s CI-shaped run
+//	pupilload -quick -baseline BENCH_load.json         # the CI gate
+//	pupilload -quick -out BENCH_load.json              # regenerate the baseline
+//	pupilload -addr http://host:7090 -duration 5m      # storm a live daemon
+//
+// The gate fails (exit 1) when, against the committed baseline, any
+// endpoint class's p50 or p99 latency more than doubles (-threshold), any
+// request errors at all, the stream drop rate passes -max-drop-rate, or
+// the post-drain goroutine delta passes -max-goroutine-delta. Latency
+// comparison is skipped when the two reports disagree on race
+// instrumentation; the absolute budgets always apply.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pupil/internal/load"
+	"pupil/internal/perf"
+)
+
+func main() {
+	addr := flag.String("addr", "", "base URL of a running daemon; empty boots one in-process")
+	duration := flag.Duration("duration", 10*time.Second, "storm phase length")
+	quick := flag.Bool("quick", false, "30 s CI profile: fixed fleet shape sized for one shared core")
+	seed := flag.Uint64("seed", 42, "worker schedule seed")
+	nodes := flag.Int("nodes", 8, "persistent paced nodes (50 ms ticks)")
+	freeRun := flag.Int("free-run", 2, "persistent free-running nodes (tick flat out)")
+	clusters := flag.Int("clusters", 2, "persistent clusters")
+	clusterNodes := flag.Int("cluster-nodes", 3, "member nodes per persistent cluster")
+	streams := flag.Int("streams", 8, "long-lived NDJSON subscribers (every 4th on a cluster)")
+	probers := flag.Int("probers", 3, "status/list/recent readers")
+	stormers := flag.Int("stormers", 2, "cap/budget writers")
+	faulters := flag.Int("faulters", 1, "fault-scenario injectors")
+	churners := flag.Int("churners", 2, "create-stream-delete cyclers")
+	scrapeEvery := flag.Duration("scrape-every", 2*time.Second, "/metrics scrape cadence")
+	out := flag.String("out", "", "write the capacity report to this path (JSON)")
+	baseline := flag.String("baseline", "", "gate against this committed report; regressions exit 1")
+	threshold := flag.Float64("threshold", perf.DefaultLatencyThreshold,
+		"relative p50/p99 growth tolerated per endpoint class (1.0 = 2x)")
+	maxDropRate := flag.Float64("max-drop-rate", perf.DefaultMaxDropRate,
+		"absolute stream drop-rate budget")
+	maxGoroutines := flag.Int("max-goroutine-delta", perf.DefaultMaxGoroutineDelta,
+		"absolute leaked-goroutine budget after drain (in-process only)")
+	quiet := flag.Bool("q", false, "suppress progress logging")
+	flag.Parse()
+
+	cfg := load.Config{
+		Seed:     *seed,
+		Duration: *duration,
+		Nodes:    *nodes, FreeRunNodes: *freeRun,
+		Clusters: *clusters, ClusterNodes: *clusterNodes,
+		Streams: *streams, Probers: *probers,
+		Stormers: *stormers, Faulters: *faulters, Churners: *churners,
+		ScrapeEvery: *scrapeEvery,
+	}
+	if *quick {
+		// The committed-baseline shape: every worker class live, sized so
+		// the whole exercise fits one shared CI core under -race.
+		cfg.Duration = 30 * time.Second
+		cfg.Nodes, cfg.FreeRunNodes = 8, 2
+		cfg.Clusters, cfg.ClusterNodes = 2, 3
+		cfg.Streams, cfg.Probers = 8, 3
+		cfg.Stormers, cfg.Faulters, cfg.Churners = 2, 1, 2
+		cfg.ScrapeEvery = 2 * time.Second
+	}
+	if !*quiet {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Printf("pupilload: "+format+"\n", args...)
+		}
+	}
+
+	// Read the baseline before any writing, so -out may overwrite it.
+	var base perf.LoadReport
+	haveBase := false
+	if *baseline != "" {
+		r, err := perf.ReadLoadFile(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pupilload: %v\n", err)
+			os.Exit(2)
+		}
+		base, haveBase = r, true
+	}
+
+	baseURL := *addr
+	if baseURL == "" {
+		url, stop, err := load.StartInProcess()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pupilload: %v\n", err)
+			os.Exit(2)
+		}
+		defer stop()
+		baseURL = url
+		cfg.Goroutines = load.Goroutines
+		cfg.HeapBytes = load.HeapBytes
+		if !*quiet {
+			fmt.Printf("pupilload: in-process daemon at %s\n", baseURL)
+		}
+	}
+	cfg.BaseURL = baseURL
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	rep, err := load.Run(ctx, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pupilload: %v\n", err)
+		os.Exit(2)
+	}
+	printReport(rep)
+
+	if *out != "" {
+		if err := perf.WriteLoadFile(*out, rep); err != nil {
+			fmt.Fprintf(os.Stderr, "pupilload: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+
+	if haveBase {
+		budget := perf.LoadBudget{
+			LatencyThreshold:  *threshold,
+			MaxDropRate:       *maxDropRate,
+			MaxGoroutineDelta: *maxGoroutines,
+		}
+		regs := perf.CompareLoad(base, rep, budget)
+		if len(regs) > 0 {
+			for _, r := range regs {
+				fmt.Fprintf(os.Stderr, "REGRESSION: %s\n", r)
+			}
+			os.Exit(1)
+		}
+		note := ""
+		if base.Race != rep.Race {
+			note = " (latency comparison skipped: race flags differ)"
+		}
+		fmt.Printf("no regressions against %s%s\n", *baseline, note)
+	}
+}
+
+func printReport(rep perf.LoadReport) {
+	fmt.Printf("%-22s %8s %6s %9s %9s %9s %9s\n",
+		"endpoint class", "count", "errs", "p50 ms", "p95 ms", "p99 ms", "max ms")
+	for _, m := range rep.Endpoints {
+		fmt.Printf("%-22s %8d %6d %9.2f %9.2f %9.2f %9.2f\n",
+			m.Class, m.Count, m.Errors, m.P50Ms, m.P95Ms, m.P99Ms, m.MaxMs)
+	}
+	fmt.Printf("streams: %d samples, %d dropped (rate %.4f)\n",
+		rep.StreamSamples, rep.StreamDropped, rep.StreamDropRate)
+	fmt.Printf("churn: %d cycles; metrics: %d scrapes\n", rep.ChurnCycles, rep.MetricsScrapes)
+	if rep.InProcess {
+		fmt.Printf("goroutines: %d -> %d (delta %+d); heap: %d -> %d bytes\n",
+			rep.GoroutineBase, rep.GoroutineFinal, rep.GoroutineDelta,
+			rep.HeapBaseBytes, rep.HeapFinalBytes)
+	}
+}

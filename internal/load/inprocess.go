@@ -1,0 +1,52 @@
+package load
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"time"
+
+	"pupil/internal/server"
+)
+
+// StartInProcess boots a pupild daemon inside this process on a loopback
+// port and returns its base URL plus a stop function. In-process runs are
+// what make the goroutine/heap growth numbers meaningful: the harness can
+// introspect the same runtime the daemon leaks into. Wire Goroutines and
+// HeapBytes from this package's Introspection helpers.
+func StartInProcess() (baseURL string, stop func(), err error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, fmt.Errorf("load: listen: %w", err)
+	}
+	mgr := server.NewManager()
+	hs := &http.Server{Handler: server.New(mgr).Handler()}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		hs.Serve(ln)
+	}()
+	stop = func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		hs.Shutdown(ctx)
+		<-done
+		mgr.Close()
+	}
+	return "http://" + ln.Addr().String(), stop, nil
+}
+
+// Goroutines counts live goroutines; pass as Config.Goroutines for
+// in-process runs.
+func Goroutines() int { return runtime.NumGoroutine() }
+
+// HeapBytes reports live heap bytes after a forced collection, so growth
+// numbers measure retained memory, not allocation noise.
+func HeapBytes() uint64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}

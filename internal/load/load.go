@@ -1,0 +1,735 @@
+// Package load is the pupild capacity harness: a synthetic client fleet
+// that drives a daemon — in-process or remote — through the traffic mix
+// the control plane must survive in production. It ramps a persistent
+// fleet of paced and free-running nodes plus clusters, then storms it for
+// a fixed duration with seeded workers: long-lived NDJSON stream
+// subscribers, status/list probers, cap- and budget-change stormers,
+// fault-injection bursts, create→stream→delete churners, and periodic
+// /metrics scrapes. Every request is timed around the full response body;
+// the result is a perf.LoadReport — per-endpoint-class latency
+// percentiles, stream sample gaps and drop rates, churn throughput, and
+// goroutine/heap growth across the whole exercise — which cmd/pupilload
+// writes as BENCH_load.json and gates with perf.CompareLoad.
+//
+// Worker schedules are deterministic for a given Config.Seed: each worker
+// derives its own PRNG from the seed and its class+index, so two runs of
+// the same shape issue the same request sequence (wall-clock interleaving
+// still varies — this reproduces the workload, not the schedule).
+package load
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pupil/internal/perf"
+	"pupil/internal/server"
+	"pupil/internal/sweep"
+)
+
+// Config shapes one harness run. Zero values take the defaults below —
+// a modest fleet sized for a shared CI core.
+type Config struct {
+	// BaseURL is the daemon to storm, e.g. "http://127.0.0.1:7090".
+	BaseURL string
+	// Seed makes every worker's schedule reproducible.
+	Seed uint64
+	// Duration is the storm phase length (ramp and drain are extra).
+	Duration time.Duration
+
+	// Nodes is the persistent paced fleet (50 ms real ticks — each node
+	// publishes ~20 samples/s for the stream subscribers).
+	Nodes int
+	// FreeRunNodes are persistent free-running nodes: they tick as fast
+	// as the scheduler allows, which is what makes the per-node lock hot
+	// and exposes Status-vs-advance contention.
+	FreeRunNodes int
+	// Clusters is the persistent paced cluster count; ClusterNodes the
+	// member nodes per cluster.
+	Clusters     int
+	ClusterNodes int
+
+	// Streams is the long-lived subscriber count; every fourth subscriber
+	// follows a cluster stream, the rest follow node streams round-robin.
+	Streams int
+	// Probers issue status/list/recent reads; Stormers issue cap and
+	// budget writes; Faulters inject transient fault scenarios; Churners
+	// run create→stream→delete cycles (every fourth cycle a cluster).
+	Probers  int
+	Stormers int
+	Faulters int
+	Churners int
+
+	// ScrapeEvery is the /metrics scrape cadence.
+	ScrapeEvery time.Duration
+
+	// Goroutines and HeapBytes introspect the daemon process; wire them
+	// to runtime counters when the daemon is in-process, leave nil for a
+	// remote daemon (growth tracking is then skipped).
+	Goroutines func() int
+	HeapBytes  func() uint64
+	// Logf, when set, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	// Accept a bare host:port: the CLI's -addr and remote callers both
+	// read more naturally without the scheme.
+	if c.BaseURL != "" && !strings.Contains(c.BaseURL, "://") {
+		c.BaseURL = "http://" + c.BaseURL
+	}
+	c.BaseURL = strings.TrimRight(c.BaseURL, "/")
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.Duration <= 0 {
+		c.Duration = 10 * time.Second
+	}
+	if c.Nodes <= 0 {
+		c.Nodes = 8
+	}
+	if c.FreeRunNodes < 0 {
+		c.FreeRunNodes = 0
+	}
+	if c.Clusters <= 0 {
+		c.Clusters = 2
+	}
+	if c.ClusterNodes <= 0 {
+		c.ClusterNodes = 3
+	}
+	if c.Streams <= 0 {
+		c.Streams = 6
+	}
+	if c.Probers <= 0 {
+		c.Probers = 3
+	}
+	if c.Stormers <= 0 {
+		c.Stormers = 2
+	}
+	if c.Faulters < 0 {
+		c.Faulters = 0
+	}
+	if c.Churners <= 0 {
+		c.Churners = 2
+	}
+	if c.ScrapeEvery <= 0 {
+		c.ScrapeEvery = 2 * time.Second
+	}
+	return c
+}
+
+func (c Config) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+// rng derives a worker's deterministic PRNG from the run seed and the
+// worker's class and index, via the same FNV mix the sweep package uses
+// for cell seeds.
+func (c Config) rng(class string, idx int) *rand.Rand {
+	s := sweep.Seed("pupilload", class, fmt.Sprint(idx)) ^ c.Seed
+	return rand.New(rand.NewSource(int64(s)))
+}
+
+// recorder accumulates per-endpoint-class latencies. One mutex over the
+// whole map is fine here: observations arrive at low kHz rates and the
+// harness is the client, not the system under test.
+type recorder struct {
+	mu      sync.Mutex
+	classes map[string]*classRec
+}
+
+type classRec struct {
+	lat  []float64 // milliseconds
+	errs int64
+}
+
+func newRecorder() *recorder {
+	return &recorder{classes: make(map[string]*classRec)}
+}
+
+func (r *recorder) observe(class string, ms float64, ok bool) {
+	r.mu.Lock()
+	cr := r.classes[class]
+	if cr == nil {
+		cr = &classRec{}
+		r.classes[class] = cr
+	}
+	cr.lat = append(cr.lat, ms)
+	if !ok {
+		cr.errs++
+	}
+	r.mu.Unlock()
+}
+
+// metrics computes the sorted percentile table over everything observed.
+func (r *recorder) metrics() []perf.LoadMetric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]perf.LoadMetric, 0, len(r.classes))
+	for class, cr := range r.classes {
+		m := perf.LoadMetric{Class: class, Count: int64(len(cr.lat)), Errors: cr.errs}
+		if n := len(cr.lat); n > 0 {
+			s := append([]float64(nil), cr.lat...)
+			sort.Float64s(s)
+			m.P50Ms = quantile(s, 0.50)
+			m.P95Ms = quantile(s, 0.95)
+			m.P99Ms = quantile(s, 0.99)
+			m.MaxMs = s[n-1]
+		}
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Class < out[j].Class })
+	return out
+}
+
+// quantile takes the nearest-rank value from an ascending-sorted slice.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)))
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// harness is one live run's shared state.
+type harness struct {
+	cfg    Config
+	client *http.Client
+	rec    *recorder
+
+	// Persistent fleet, fixed after ramp; workers read these freely.
+	nodeIDs    []string // paced first, then free-running
+	pacedNodes int
+	clusterIDs []string
+
+	churnCycles   atomic.Int64
+	scrapes       atomic.Int64
+	streamSamples atomic.Int64
+	streamDropped atomic.Uint64
+
+	// lastErr remembers the most recent request failure so a ramp abort
+	// can say why, not just which resource failed. Storm-phase errors are
+	// aggregate by design and only feed the per-class error counters.
+	errMu   sync.Mutex
+	lastErr error
+}
+
+func (h *harness) noteErr(err error) {
+	h.errMu.Lock()
+	h.lastErr = err
+	h.errMu.Unlock()
+}
+
+func (h *harness) takeErr() error {
+	h.errMu.Lock()
+	defer h.errMu.Unlock()
+	if h.lastErr == nil {
+		return fmt.Errorf("request aborted")
+	}
+	return h.lastErr
+}
+
+// Run executes ramp → storm → drain against cfg.BaseURL and returns the
+// capacity report. The context bounds the whole run; the storm phase ends
+// after cfg.Duration regardless.
+func Run(ctx context.Context, cfg Config) (perf.LoadReport, error) {
+	cfg = cfg.withDefaults()
+	h := &harness{
+		cfg: cfg,
+		rec: newRecorder(),
+		client: &http.Client{
+			Transport: &http.Transport{
+				MaxIdleConns:        256,
+				MaxIdleConnsPerHost: 256,
+			},
+		},
+	}
+	defer h.client.CloseIdleConnections()
+
+	rep := perf.LoadReport{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Race:       perf.RaceEnabled(),
+		InProcess:  cfg.Goroutines != nil,
+		DurationS:  cfg.Duration.Seconds(),
+		Seed:       cfg.Seed,
+		Nodes:      cfg.Nodes, FreeRunNodes: cfg.FreeRunNodes,
+		Clusters: cfg.Clusters,
+		Streams:  cfg.Streams, Probers: cfg.Probers,
+		Stormers: cfg.Stormers, Faulters: cfg.Faulters, Churners: cfg.Churners,
+	}
+
+	// Base measurement before any fleet exists, so the final delta counts
+	// everything the harness caused.
+	if cfg.Goroutines != nil {
+		rep.GoroutineBase = cfg.Goroutines()
+	}
+	if cfg.HeapBytes != nil {
+		rep.HeapBaseBytes = cfg.HeapBytes()
+	}
+
+	cfg.logf("ramp: %d paced + %d free-run nodes, %d clusters (%d nodes each)",
+		cfg.Nodes, cfg.FreeRunNodes, cfg.Clusters, cfg.ClusterNodes)
+	if err := h.ramp(ctx); err != nil {
+		h.drain() // tear down whatever partially ramped
+		return rep, fmt.Errorf("load: ramp: %w", err)
+	}
+
+	cfg.logf("storm: %v with %d streams, %d probers, %d stormers, %d faulters, %d churners",
+		cfg.Duration, cfg.Streams, cfg.Probers, cfg.Stormers, cfg.Faulters, cfg.Churners)
+	h.storm(ctx)
+
+	cfg.logf("drain: deleting fleet")
+	h.drain()
+
+	// Let deleted sessions, fanout forwarders, and HTTP conns unwind
+	// before the leak measurement.
+	if cfg.Goroutines != nil {
+		base := rep.GoroutineBase
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if cfg.Goroutines() <= base {
+				break
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		rep.GoroutineFinal = cfg.Goroutines()
+		rep.GoroutineDelta = rep.GoroutineFinal - base
+	}
+	if cfg.HeapBytes != nil {
+		rep.HeapFinalBytes = cfg.HeapBytes()
+	}
+
+	rep.Endpoints = h.rec.metrics()
+	rep.StreamSamples = h.streamSamples.Load()
+	rep.StreamDropped = h.streamDropped.Load()
+	if total := float64(rep.StreamSamples) + float64(rep.StreamDropped); total > 0 {
+		rep.StreamDropRate = float64(rep.StreamDropped) / total
+	}
+	rep.ChurnCycles = h.churnCycles.Load()
+	rep.MetricsScrapes = h.scrapes.Load()
+	return rep, nil
+}
+
+// do issues one timed request: latency covers building the request through
+// draining the full response body, which is what a real client pays.
+// Responses past 399 count as errors (the storm only issues requests the
+// API documents as valid, so any 4xx/5xx is a server-side taxonomy or
+// capacity bug).
+func (h *harness) do(ctx context.Context, class, method, path string, body, out any) bool {
+	rctx, cancel := context.WithTimeout(ctx, 15*time.Second)
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			h.noteErr(fmt.Errorf("%s %s: encode body: %w", method, path, err))
+			h.rec.observe(class, 0, false)
+			return false
+		}
+		rd = bytes.NewReader(data)
+	}
+	start := time.Now()
+	req, err := http.NewRequestWithContext(rctx, method, h.cfg.BaseURL+path, rd)
+	if err != nil {
+		h.noteErr(fmt.Errorf("%s %s: %w", method, path, err))
+		h.rec.observe(class, 0, false)
+		return false
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := h.client.Do(req)
+	if err != nil {
+		// Shutdown races (storm context expiring mid-request) are not
+		// server failures; drop the observation instead of miscounting.
+		if ctx.Err() != nil {
+			return false
+		}
+		h.noteErr(err)
+		h.rec.observe(class, float64(time.Since(start))/1e6, false)
+		return false
+	}
+	var payload []byte
+	if out != nil {
+		payload, err = io.ReadAll(resp.Body)
+	} else {
+		_, err = io.Copy(io.Discard, resp.Body)
+	}
+	resp.Body.Close()
+	ok := err == nil && resp.StatusCode < 400
+	if !ok {
+		if err != nil {
+			h.noteErr(fmt.Errorf("%s %s: read body: %w", method, path, err))
+		} else {
+			h.noteErr(fmt.Errorf("%s %s: status %d: %s",
+				method, path, resp.StatusCode, bytes.TrimSpace(payload)))
+		}
+	}
+	h.rec.observe(class, float64(time.Since(start))/1e6, ok)
+	if ok && out != nil {
+		ok = json.Unmarshal(payload, out) == nil
+	}
+	return ok
+}
+
+// nodeConfig builds the persistent-node create body. Paced nodes tick
+// every 50 ms of wall clock; free-running nodes tick flat out.
+func nodeConfig(name string, freeRun bool, seed uint64) server.NodeConfig {
+	cfg := server.NodeConfig{
+		Name:      name,
+		Technique: "PUPiL",
+		CapWatts:  130,
+		Seed:      seed,
+		Workloads: []server.WorkloadConfig{{Benchmark: "blackscholes", Threads: 8}},
+	}
+	if freeRun {
+		cfg.FreeRun = true
+	} else {
+		cfg.TickRealMS = 50
+	}
+	return cfg
+}
+
+func clusterConfig(name string, nodes int, seed uint64) server.ClusterConfig {
+	members := make([]server.ClusterNodeConfig, nodes)
+	for i := range members {
+		members[i] = server.ClusterNodeConfig{
+			Workloads: []server.WorkloadConfig{{Benchmark: "blackscholes", Threads: 4}},
+		}
+	}
+	return server.ClusterConfig{
+		Name:        name,
+		Nodes:       members,
+		BudgetWatts: 120 * float64(nodes),
+		Seed:        seed,
+	}
+}
+
+// ramp creates the persistent fleet and records create latencies.
+func (h *harness) ramp(ctx context.Context) error {
+	total := h.cfg.Nodes + h.cfg.FreeRunNodes
+	for i := 0; i < total; i++ {
+		freeRun := i >= h.cfg.Nodes
+		var st server.NodeStatus
+		name := fmt.Sprintf("fleet-%d", i)
+		if !h.do(ctx, "create_node", http.MethodPost, "/v1/nodes",
+			nodeConfig(name, freeRun, h.cfg.Seed+uint64(i)), &st) {
+			return fmt.Errorf("create node %s: %w", name, h.takeErr())
+		}
+		h.nodeIDs = append(h.nodeIDs, st.ID)
+	}
+	h.pacedNodes = h.cfg.Nodes
+	for i := 0; i < h.cfg.Clusters; i++ {
+		var st server.ClusterStatus
+		name := fmt.Sprintf("rack-%d", i)
+		if !h.do(ctx, "create_cluster", http.MethodPost, "/v1/clusters",
+			clusterConfig(name, h.cfg.ClusterNodes, h.cfg.Seed+uint64(100+i)), &st) {
+			return fmt.Errorf("create cluster %s: %w", name, h.takeErr())
+		}
+		h.clusterIDs = append(h.clusterIDs, st.ID)
+	}
+	return nil
+}
+
+// storm runs every worker class concurrently until the duration elapses.
+func (h *harness) storm(ctx context.Context) {
+	sctx, cancel := context.WithTimeout(ctx, h.cfg.Duration)
+	defer cancel()
+	var wg sync.WaitGroup
+	start := func(n int, class string, fn func(ctx context.Context, r *rand.Rand, idx int)) {
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				fn(sctx, h.cfg.rng(class, i), i)
+			}(i)
+		}
+	}
+	start(h.cfg.Streams, "stream", h.streamWorker)
+	start(h.cfg.Probers, "probe", h.probeWorker)
+	start(h.cfg.Stormers, "storm", h.stormWorker)
+	start(h.cfg.Faulters, "fault", h.faultWorker)
+	start(h.cfg.Churners, "churn", h.churnWorker)
+	start(1, "scrape", h.scrapeWorker)
+	wg.Wait()
+}
+
+// sleep pauses for a seeded duration in [min,max), returning false when
+// the context expired instead.
+func sleep(ctx context.Context, r *rand.Rand, min, max time.Duration) bool {
+	d := min + time.Duration(r.Int63n(int64(max-min)))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// probeWorker issues the read mix: node status dominates (it is the path
+// every dashboard and poller hammers), with list, cluster status, and
+// telemetry-ring reads blended in.
+func (h *harness) probeWorker(ctx context.Context, r *rand.Rand, _ int) {
+	for ctx.Err() == nil {
+		switch p := r.Intn(100); {
+		case p < 50:
+			id := h.nodeIDs[r.Intn(len(h.nodeIDs))]
+			h.do(ctx, "status_node", http.MethodGet, "/v1/nodes/"+id, nil, nil)
+		case p < 70:
+			h.do(ctx, "list_nodes", http.MethodGet, "/v1/nodes", nil, nil)
+		case p < 85:
+			id := h.clusterIDs[r.Intn(len(h.clusterIDs))]
+			h.do(ctx, "status_cluster", http.MethodGet, "/v1/clusters/"+id, nil, nil)
+		case p < 95:
+			h.do(ctx, "recent", http.MethodGet, "/v1/telemetry/recent?max=64", nil, nil)
+		default:
+			h.do(ctx, "list_clusters", http.MethodGet, "/v1/clusters", nil, nil)
+		}
+		if !sleep(ctx, r, 2*time.Millisecond, 10*time.Millisecond) {
+			return
+		}
+	}
+}
+
+// stormWorker issues the write mix: node cap changes, cluster budget
+// changes, and cluster per-node cap overrides.
+func (h *harness) stormWorker(ctx context.Context, r *rand.Rand, _ int) {
+	for ctx.Err() == nil {
+		switch p := r.Intn(100); {
+		case p < 60:
+			id := h.nodeIDs[r.Intn(len(h.nodeIDs))]
+			cap := 80 + r.Float64()*100
+			h.do(ctx, "cap_node", http.MethodPut, "/v1/nodes/"+id+"/cap",
+				map[string]float64{"cap_watts": cap}, nil)
+		case p < 85:
+			id := h.clusterIDs[r.Intn(len(h.clusterIDs))]
+			budget := float64(h.cfg.ClusterNodes) * (90 + r.Float64()*80)
+			h.do(ctx, "budget_cluster", http.MethodPut, "/v1/clusters/"+id+"/budget",
+				map[string]float64{"budget_watts": budget}, nil)
+		default:
+			id := h.clusterIDs[r.Intn(len(h.clusterIDs))]
+			idx := r.Intn(h.cfg.ClusterNodes)
+			cap := 60 + r.Float64()*120
+			h.do(ctx, "cap_cluster_node", http.MethodPut,
+				fmt.Sprintf("/v1/clusters/%s/nodes/%d/cap", id, idx),
+				map[string]float64{"cap_watts": cap}, nil)
+		}
+		if !sleep(ctx, r, 10*time.Millisecond, 40*time.Millisecond) {
+			return
+		}
+	}
+}
+
+// faultScenarios are the transient injections the fault workers rotate
+// through — every one valid per the faults package, sensor- and
+// actuator-side, short enough to overlap constantly under storm.
+var faultScenarios = []server.FaultConfig{
+	{Kind: "spike", Target: "power-sensor", DurationS: 1, Magnitude: 0.5},
+	{Kind: "stuck", Target: "perf-sensor", DurationS: 1},
+	{Kind: "dropout", Target: "power-sensor", DurationS: 1, Magnitude: 0.3},
+	{Kind: "delay", Target: "config", DurationS: 1, Magnitude: 0.05},
+}
+
+// faultWorker injects short fault scenarios into paced persistent nodes
+// and reads the fault log back.
+func (h *harness) faultWorker(ctx context.Context, r *rand.Rand, _ int) {
+	for ctx.Err() == nil {
+		id := h.nodeIDs[r.Intn(h.pacedNodes)]
+		sc := faultScenarios[r.Intn(len(faultScenarios))]
+		h.do(ctx, "fault_inject", http.MethodPost, "/v1/nodes/"+id+"/faults", sc, nil)
+		if r.Intn(3) == 0 {
+			h.do(ctx, "fault_info", http.MethodGet, "/v1/nodes/"+id+"/faults", nil, nil)
+		}
+		if !sleep(ctx, r, 50*time.Millisecond, 150*time.Millisecond) {
+			return
+		}
+	}
+}
+
+// scrapeWorker fetches /metrics on the configured cadence — the
+// Prometheus scrape that walks every node and cluster Status under load.
+func (h *harness) scrapeWorker(ctx context.Context, r *rand.Rand, _ int) {
+	for ctx.Err() == nil {
+		if h.do(ctx, "metrics", http.MethodGet, "/metrics", nil, nil) {
+			h.scrapes.Add(1)
+		}
+		if !sleep(ctx, r, h.cfg.ScrapeEvery, h.cfg.ScrapeEvery+time.Millisecond) {
+			return
+		}
+	}
+}
+
+// streamSample is the per-line subset the subscribers decode: enough to
+// track ring-buffer drops without paying for the full sample.
+type streamSample struct {
+	Dropped uint64 `json:"dropped"`
+}
+
+// streamWorker holds one long-lived NDJSON subscription for the whole
+// storm; every fourth worker follows a cluster stream, the rest follow
+// node streams round-robin over the paced fleet. It records inter-sample
+// gaps (stream lag) and the final cumulative drop counter.
+func (h *harness) streamWorker(ctx context.Context, _ *rand.Rand, idx int) {
+	var path, gapClass string
+	if idx%4 == 3 && len(h.clusterIDs) > 0 {
+		id := h.clusterIDs[(idx/4)%len(h.clusterIDs)]
+		path = "/v1/clusters/" + id + "/stream?buffer=16"
+		gapClass = "stream_gap_cluster"
+	} else {
+		id := h.nodeIDs[idx%h.pacedNodes]
+		path = "/v1/nodes/" + id + "/stream?buffer=16"
+		gapClass = "stream_gap_node"
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, h.cfg.BaseURL+path, nil)
+	if err != nil {
+		return
+	}
+	resp, err := h.client.Do(req)
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return
+	}
+	var dropped uint64
+	var last time.Time
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		now := time.Now()
+		if !last.IsZero() {
+			h.rec.observe(gapClass, float64(now.Sub(last))/1e6, true)
+		}
+		last = now
+		h.streamSamples.Add(1)
+		var s streamSample
+		if json.Unmarshal(sc.Bytes(), &s) == nil && s.Dropped > dropped {
+			dropped = s.Dropped
+		}
+	}
+	h.streamDropped.Add(dropped)
+}
+
+// churnWorker runs create→stream→delete cycles: a short-lived free-running
+// node (every fourth cycle a two-node cluster), a bounded stream read off
+// it, then deletion. This is the path that leaks goroutines if session or
+// fanout teardown regresses, and the create/delete latencies expose
+// registry write-lock cost under read load.
+func (h *harness) churnWorker(ctx context.Context, r *rand.Rand, idx int) {
+	for cycle := 0; ctx.Err() == nil; cycle++ {
+		if cycle%4 == 3 {
+			h.churnClusterCycle(ctx, r, idx, cycle)
+		} else {
+			h.churnNodeCycle(ctx, r, idx, cycle)
+		}
+		if ctx.Err() == nil {
+			h.churnCycles.Add(1)
+		}
+		if !sleep(ctx, r, 5*time.Millisecond, 25*time.Millisecond) {
+			return
+		}
+	}
+}
+
+func (h *harness) churnNodeCycle(ctx context.Context, r *rand.Rand, idx, cycle int) {
+	cfg := nodeConfig(fmt.Sprintf("churn-%d-%d", idx, cycle), false, h.cfg.Seed+uint64(cycle))
+	// Fast pacing, not free-running: the node must still be publishing
+	// when the subscriber attaches (a free-running node burns through any
+	// bounded sim before the stream request lands).
+	cfg.TickRealMS = 10
+	var st server.NodeStatus
+	if !h.do(ctx, "create_node", http.MethodPost, "/v1/nodes", cfg, &st) {
+		return
+	}
+	h.streamFirst(ctx, "stream_first", "/v1/nodes/"+st.ID+"/stream?max=2&buffer=4")
+	// The delete must run even when the storm deadline hit mid-cycle, or
+	// every in-flight churn node leaks into the leak measurement.
+	h.do(context.WithoutCancel(ctx), "delete_node", http.MethodDelete, "/v1/nodes/"+st.ID, nil, nil)
+}
+
+func (h *harness) churnClusterCycle(ctx context.Context, r *rand.Rand, idx, cycle int) {
+	cfg := clusterConfig(fmt.Sprintf("churn-rack-%d-%d", idx, cycle), 2, h.cfg.Seed+uint64(cycle))
+	cfg.TickRealMS = 30 // fast epochs so the stream read returns promptly
+	var st server.ClusterStatus
+	if !h.do(ctx, "create_cluster", http.MethodPost, "/v1/clusters", cfg, &st) {
+		return
+	}
+	h.streamFirst(ctx, "stream_first_cluster", "/v1/clusters/"+st.ID+"/stream?max=1&buffer=4")
+	h.do(context.WithoutCancel(ctx), "delete_cluster", http.MethodDelete, "/v1/clusters/"+st.ID, nil, nil)
+}
+
+// streamFirst opens a bounded stream and records time-to-first-sample —
+// the subscribe-to-publish latency a fresh client observes.
+func (h *harness) streamFirst(ctx context.Context, class, path string) {
+	rctx, cancel := context.WithTimeout(ctx, 15*time.Second)
+	defer cancel()
+	start := time.Now()
+	req, err := http.NewRequestWithContext(rctx, http.MethodGet, h.cfg.BaseURL+path, nil)
+	if err != nil {
+		return
+	}
+	resp, err := h.client.Do(req)
+	if err != nil {
+		if ctx.Err() == nil {
+			h.rec.observe(class, 0, false)
+		}
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		h.rec.observe(class, float64(time.Since(start))/1e6, false)
+		return
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	if sc.Scan() {
+		h.rec.observe(class, float64(time.Since(start))/1e6, true)
+		h.streamSamples.Add(1)
+	} else if ctx.Err() == nil {
+		h.rec.observe(class, float64(time.Since(start))/1e6, false)
+	}
+	// Drain the remaining bounded samples so the connection can be
+	// reused.
+	for sc.Scan() {
+		h.streamSamples.Add(1)
+	}
+}
+
+// drain deletes the persistent fleet, timing the deletes (a paced node's
+// delete waits for its tick loop to park, so these are real numbers).
+func (h *harness) drain() {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for _, id := range h.nodeIDs {
+		h.do(ctx, "delete_node", http.MethodDelete, "/v1/nodes/"+id, nil, nil)
+	}
+	for _, id := range h.clusterIDs {
+		h.do(ctx, "delete_cluster", http.MethodDelete, "/v1/clusters/"+id, nil, nil)
+	}
+	h.nodeIDs, h.clusterIDs = nil, nil
+	h.client.CloseIdleConnections()
+}

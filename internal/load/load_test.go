@@ -1,0 +1,80 @@
+package load
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestRunQuick exercises the full harness — ramp, a two-second storm with
+// every worker class live, drain, leak settle — against an in-process
+// daemon, and asserts the structural invariants of the report: traffic on
+// the core endpoint classes, zero request errors (the harness only issues
+// documented-valid requests), churn progress, and a drained goroutine
+// count near baseline.
+func TestRunQuick(t *testing.T) {
+	base, stop, err := StartInProcess()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	rep, err := Run(context.Background(), Config{
+		BaseURL:      base,
+		Seed:         7,
+		Duration:     2 * time.Second,
+		Nodes:        3,
+		FreeRunNodes: 1,
+		Clusters:     1,
+		ClusterNodes: 2,
+		Streams:      3,
+		Probers:      2,
+		Stormers:     1,
+		Faulters:     1,
+		Churners:     1,
+		ScrapeEvery:  500 * time.Millisecond,
+		Goroutines:   Goroutines,
+		HeapBytes:    HeapBytes,
+		Logf:         t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !rep.InProcess {
+		t.Error("InProcess not set despite introspection hooks")
+	}
+	for _, class := range []string{
+		"create_node", "status_node", "list_nodes", "cap_node",
+		"create_cluster", "budget_cluster", "delete_node", "metrics",
+	} {
+		m, ok := rep.Endpoint(class)
+		if !ok || m.Count == 0 {
+			t.Errorf("endpoint class %q saw no traffic", class)
+			continue
+		}
+		if m.Errors > 0 {
+			t.Errorf("endpoint class %q: %d errors over %d requests", class, m.Errors, m.Count)
+		}
+		if m.P50Ms < 0 || m.P99Ms < m.P50Ms {
+			t.Errorf("endpoint class %q: malformed percentiles %+v", class, m)
+		}
+	}
+	if rep.StreamSamples == 0 {
+		t.Error("no stream samples received")
+	}
+	if rep.ChurnCycles == 0 {
+		t.Error("no churn cycles completed")
+	}
+	if rep.MetricsScrapes == 0 {
+		t.Error("no metrics scrapes completed")
+	}
+	// The drained daemon should return close to its pre-fleet goroutine
+	// count; a generous bound keeps this robust on loaded CI hosts while
+	// still catching wholesale leaks (each leaked node is 2+ goroutines
+	// across dozens of churn cycles).
+	if rep.GoroutineDelta > 10 {
+		t.Errorf("goroutine delta %d after drain (base %d, final %d)",
+			rep.GoroutineDelta, rep.GoroutineBase, rep.GoroutineFinal)
+	}
+}

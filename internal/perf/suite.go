@@ -30,6 +30,7 @@ func Suite() []Benchmark {
 		{Name: "BenchmarkSessionAdvance", Fn: SessionAdvance},
 		{Name: "BenchmarkSweepCell", Fn: SweepCell},
 		{Name: "BenchmarkServerTick", Fn: ServerTick},
+		{Name: "BenchmarkManagerRegistry", Fn: ManagerRegistry},
 		{Name: "BenchmarkClusterEpoch", Fn: ClusterEpoch},
 		{Name: "BenchmarkClusterEpoch100", Fn: ClusterEpoch100},
 		{Name: "BenchmarkRouterPublish", Fn: RouterPublish},
@@ -146,6 +147,66 @@ func ServerTick(b *testing.B) {
 			b.Fatal("node stopped during benchmark")
 		}
 	}
+}
+
+// ManagerRegistry measures the pupild control-plane read path under
+// registry churn: one op is a Get + Status on a live manager holding 64
+// idle nodes, with a full List every 16 ops and a Create/Delete pair every
+// 256 ops, all racing across GOMAXPROCS goroutines. This is the lookup
+// path every API request and every /metrics scrape funnels through; the op
+// cost is dominated by how much work Status does under how wide a lock,
+// which is exactly what the registry-contention fix narrows.
+func ManagerRegistry(b *testing.B) {
+	churnCfg := server.NodeConfig{
+		Technique: "RAPL",
+		CapWatts:  130,
+		// Idle pacing: the tick loop parks on a ten-minute ticker, so ops
+		// measure registry and status costs, not simulation work.
+		TickRealMS: 600000,
+		Workloads:  []server.WorkloadConfig{{Benchmark: "blackscholes", Threads: 8}},
+	}
+	mgr := server.NewManager()
+	defer mgr.Close()
+	const fleet = 64
+	ids := make([]string, fleet)
+	for i := range ids {
+		n, err := mgr.Create(churnCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ids[i] = n.ID()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			i++
+			switch {
+			case i%256 == 0:
+				n, err := mgr.Create(churnCfg)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				if err := mgr.Delete(n.ID()); err != nil {
+					b.Error(err)
+					return
+				}
+			case i%16 == 0:
+				for _, n := range mgr.Nodes() {
+					_ = n.Epoch()
+				}
+			default:
+				n, ok := mgr.Get(ids[i%fleet])
+				if !ok {
+					b.Error("fleet node missing from registry")
+					return
+				}
+				_ = n.Status()
+			}
+		}
+	})
 }
 
 // ClusterEpoch measures one cluster-coordinator epoch through the serving

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"runtime"
 	"runtime/debug"
 	"sort"
 	"sync"
@@ -242,16 +243,9 @@ type ClusterSample struct {
 	Dropped uint64 `json:"dropped,omitempty"`
 }
 
-// domainStatuses converts coordinator domain snapshots to their API view.
-func domainStatuses(ds []cluster.DomainSnapshot) []ClusterDomainStatus {
-	if len(ds) == 0 {
-		return nil
-	}
-	return domainStatusesInto(make([]ClusterDomainStatus, 0, len(ds)), ds)
-}
-
-// domainStatusesInto appends the converted snapshots to dst, so the epoch
-// loop can reuse one buffer instead of allocating per epoch.
+// domainStatusesInto appends the converted coordinator domain snapshots to
+// dst, so the epoch loop can reuse one buffer instead of allocating per
+// epoch.
 func domainStatusesInto(dst []ClusterDomainStatus, ds []cluster.DomainSnapshot) []ClusterDomainStatus {
 	for _, d := range ds {
 		dst = append(dst, ClusterDomainStatus{
@@ -336,9 +330,20 @@ type Cluster struct {
 
 	mu         sync.Mutex // guards coord, lastSnap, state, failReason, epoch bufs
 	coord      *cluster.Coordinator
-	lastSnap   cluster.Snapshot // last coherent snapshot, for failed clusters
+	lastSnap   cluster.Snapshot // reused SnapshotInto target for the epoch loop
 	state      State
 	failReason string
+
+	// pubMu guards the published status view Status serves without
+	// waiting on mu — at fleet scale an epoch step holds mu for hundreds
+	// of milliseconds, and before this split every cluster status read
+	// (and every /metrics scrape) queued behind it. pub's Nodes and
+	// Domains slices are pub-owned backing arrays reused across refreshes
+	// (NodeSnapshot and DomainSnapshot are flat value structs), so the
+	// steady-state epoch path stays allocation-free; Status copies them
+	// out per call.
+	pubMu sync.Mutex
+	pub   ClusterStatus
 
 	// Per-epoch scratch reused by advance so the steady-state epoch path
 	// stays allocation-free; the built sample aliases these buffers and is
@@ -379,29 +384,45 @@ func (c *Cluster) Subscribe(buffer int) *telemetry.Subscriber[ClusterSample] {
 	return c.fan.Subscribe(buffer)
 }
 
-// SetBudget changes the cluster's global power budget live; the assignment
-// rescales to the new budget immediately.
+// SetBudget changes a running cluster's global power budget live; the
+// assignment rescales to the new budget immediately.
 func (c *Cluster) SetBudget(watts float64) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.state == StateFailed {
+	if c.state != StateRunning {
 		return fmt.Errorf("%w: cluster %s is %s", ErrNotRunning, c.id, c.state)
 	}
-	return c.coord.SetBudget(watts)
+	if err := c.coord.SetBudget(watts); err != nil {
+		return err
+	}
+	c.refreshStatusLocked()
+	return nil
 }
 
-// SetNodeCap reassigns one node's share directly, bypassing the policy
-// until the next epoch's rebalance.
+// SetNodeCap reassigns one node's share of a running cluster directly,
+// bypassing the policy until the next epoch's rebalance.
 func (c *Cluster) SetNodeCap(i int, watts float64) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.state == StateFailed {
+	if c.state != StateRunning {
 		return fmt.Errorf("%w: cluster %s is %s", ErrNotRunning, c.id, c.state)
 	}
 	if i < 0 || i >= c.coord.NodeCount() {
 		return fmt.Errorf("%w: cluster %s has no node %d", ErrNotFound, c.id, i)
 	}
-	return c.coord.SetNodeCap(i, watts)
+	if err := c.coord.SetNodeCap(i, watts); err != nil {
+		return err
+	}
+	c.refreshStatusLocked()
+	return nil
+}
+
+// refreshStatusLocked re-snapshots the coordinator and republishes the
+// status view after a mutation, so the change is visible to Status before
+// the next epoch runs. Callers hold c.mu.
+func (c *Cluster) refreshStatusLocked() {
+	c.coord.SnapshotInto(&c.lastSnap)
+	c.publishStatus(&c.lastSnap)
 }
 
 // InjectFault schedules a fault scenario against one node or a whole
@@ -413,7 +434,11 @@ func (c *Cluster) InjectFault(f ClusterFaultConfig) error {
 	if c.state != StateRunning {
 		return fmt.Errorf("%w: cluster %s is %s", ErrNotRunning, c.id, c.state)
 	}
-	return c.injectLocked(f)
+	if err := c.injectLocked(f); err != nil {
+		return err
+	}
+	c.refreshStatusLocked()
+	return nil
 }
 
 // injectLocked routes one fault to its target, mapping engine errors to
@@ -498,32 +523,46 @@ func (c *Cluster) FaultInfo() ClusterFaultInfo {
 	return info
 }
 
-// Status reports the cluster's current state. A failed cluster reports its
-// last coherent snapshot rather than touching the broken coordinator.
+// Status reports the cluster's current state, served from the published
+// status view: it never waits on the epoch lock (an epoch step at fleet
+// scale holds it for hundreds of milliseconds), and a failed cluster keeps
+// answering with its last coherent view. The Nodes and Domains slices are
+// copied out, since the published backing arrays are reused across epochs.
 func (c *Cluster) Status() ClusterStatus {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	sn := c.lastSnap
-	if c.state != StateFailed {
-		sn = c.coord.Snapshot()
-	}
-	st := ClusterStatus{
-		ID:              c.id,
-		Name:            c.cfg.Name,
-		State:           c.state,
-		Policy:          sn.Policy,
-		Epoch:           c.epoch.Load(),
-		SimS:            sn.Now.Seconds(),
-		BudgetWatts:     sn.Budget,
-		TotalPowerWatts: sn.TotalPower,
-		TotalPerfHBs:    sn.TotalRate,
-		Domains:         domainStatuses(sn.Domains),
-		Subscribers:     c.fan.Subscribers(),
-		StreamDropped:   c.fan.TotalDropped(),
-		Quarantined:     sn.Quarantined,
-		ReclaimedWatts:  sn.ReclaimedWatts,
-		FailReason:      c.failReason,
-	}
+	c.pubMu.Lock()
+	st := c.pub
+	st.Nodes = append([]ClusterNodeStatus(nil), c.pub.Nodes...)
+	st.Domains = append([]ClusterDomainStatus(nil), c.pub.Domains...)
+	c.pubMu.Unlock()
+	// ID is immutable after creation and assigned after build, so it is
+	// read directly rather than through the published view.
+	st.ID = c.id
+	st.Epoch = c.epoch.Load()
+	st.Subscribers = c.fan.Subscribers()
+	st.StreamDropped = c.fan.TotalDropped()
+	return st
+}
+
+// publishStatus rebuilds the published status view from a coordinator
+// snapshot, reusing the view's own backing arrays so the per-epoch refresh
+// is allocation-free in steady state. Callers hold c.mu (or solely own the
+// cluster during build); sn may alias the reused lastSnap buffer.
+func (c *Cluster) publishStatus(sn *cluster.Snapshot) {
+	c.pubMu.Lock()
+	defer c.pubMu.Unlock()
+	st := &c.pub
+	st.Name = c.cfg.Name
+	st.State = c.state
+	st.Policy = sn.Policy
+	st.SimS = sn.Now.Seconds()
+	st.BudgetWatts = sn.Budget
+	st.TotalPowerWatts = sn.TotalPower
+	st.TotalPerfHBs = sn.TotalRate
+	st.Domains = domainStatusesInto(st.Domains[:0], sn.Domains)
+	st.Quarantined = sn.Quarantined
+	st.ReclaimedWatts = sn.ReclaimedWatts
+	st.FailReason = c.failReason
+	nodes := st.Nodes[:0]
 	for i, ns := range sn.Nodes {
 		ncs := ClusterNodeStatus{
 			Index:          i,
@@ -537,9 +576,19 @@ func (c *Cluster) Status() ClusterStatus {
 		if c.healthOn {
 			ncs.Health = ns.Health.String()
 		}
-		st.Nodes = append(st.Nodes, ncs)
+		nodes = append(nodes, ncs)
 	}
-	return st
+	st.Nodes = nodes
+}
+
+// publishState refreshes only the state and failure reason of the
+// published view, leaving the last coherent snapshot in place — the
+// failed/stopped cluster's "still queryable" guarantee. Callers hold c.mu.
+func (c *Cluster) publishState() {
+	c.pubMu.Lock()
+	c.pub.State = c.state
+	c.pub.FailReason = c.failReason
+	c.pubMu.Unlock()
 }
 
 // StepOnce advances a detached cluster one epoch synchronously and reports
@@ -646,6 +695,7 @@ func (c *Cluster) advance() (smp ClusterSample, publish, cont bool) {
 			c.state = StateFailed
 			c.failReason = fmt.Sprintf("cluster panic: %v", r)
 			log.Printf("server: cluster %s failed: %v\n%s", c.id, r, debug.Stack())
+			c.publishState()
 			smp, publish, cont = ClusterSample{}, false, false
 		}
 	}()
@@ -656,6 +706,7 @@ func (c *Cluster) advance() (smp ClusterSample, publish, cont bool) {
 		c.state = StateFailed
 		c.failReason = fmt.Sprintf("cluster step: %v", err)
 		log.Printf("server: cluster %s failed: %v", c.id, err)
+		c.publishState()
 		return ClusterSample{}, false, false
 	}
 	c.coord.SnapshotInto(&c.lastSnap)
@@ -710,6 +761,7 @@ func (c *Cluster) advance() (smp ClusterSample, publish, cont bool) {
 	if c.maxSim > 0 && sn.Now >= c.maxSim {
 		c.state = StateDone
 	}
+	c.publishStatus(sn)
 	return smp, true, c.state == StateRunning
 }
 
@@ -739,6 +791,10 @@ func (c *Cluster) run(ctx context.Context) {
 				c.setState(StateStopped)
 				return
 			default:
+				// Free-running: yield between epochs so API handlers and
+				// other loops are not starved for a full preemption slice
+				// on busy hosts (see the node run loop).
+				runtime.Gosched()
 			}
 		}
 		if !c.tick() {
@@ -752,6 +808,7 @@ func (c *Cluster) setState(s State) {
 	if c.state == StateRunning {
 		c.state = s
 	}
+	c.publishState()
 	c.mu.Unlock()
 }
 
@@ -955,6 +1012,7 @@ func buildCluster(cfg ClusterConfig) (*Cluster, error) {
 	c.healthOn = cfg.Health != nil
 	c.nodeDomains = coord.NodeDomains()
 	c.lastSnap = coord.Snapshot()
+	c.publishStatus(&c.lastSnap)
 	for i, f := range cfg.Faults {
 		if err := c.injectLocked(f); err != nil {
 			return nil, fmt.Errorf("cluster fault %d: %w", i, err)

@@ -183,6 +183,11 @@ func (s *Server) handleClusterStream(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
+	if flusher != nil {
+		// Flush the header at subscribe time, as the node stream does: a
+		// client of an idle cluster must still observe the subscription.
+		flusher.Flush()
+	}
 	enc := json.NewEncoder(w)
 	sent := 0
 	for {

@@ -1,0 +1,131 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestGoroutineLeakChurnStorm drives the full create/stream/delete cycle —
+// over HTTP, so handler, fanout, and session teardown are all on the hook —
+// across 100 nodes and a batch of clusters from concurrent workers, then
+// asserts the goroutine count returns to its pre-storm baseline. Every
+// leaked node is at least a tick goroutine plus a fanout forwarder, so a
+// teardown regression anywhere in that chain fails loudly here.
+func TestGoroutineLeakChurnStorm(t *testing.T) {
+	_, ts := testClient(t)
+	client := &http.Client{}
+	defer client.CloseIdleConnections()
+
+	// Idle pacing: ticks parked on a ten-minute ticker, so the storm
+	// measures lifecycle machinery, not simulation throughput.
+	nodeBody := `{"technique": "RAPL", "cap_watts": 140, "tick_real_ms": 600000,
+		"workloads": [{"benchmark": "blackscholes"}]}`
+	clusterBody := `{"budget_watts": 280, "tick_real_ms": 600000,
+		"nodes": [{"workloads": [{"benchmark": "blackscholes"}]},
+		          {"workloads": [{"benchmark": "blackscholes"}]}]}`
+
+	base := runtime.NumGoroutine()
+
+	// openStream issues a stream request and returns once the server has
+	// committed the response (subscriber registered), handing back the
+	// cancel that tears the subscription down client-side.
+	openStream := func(path string) (cancel func(), err error) {
+		ctx, stop := context.WithCancel(context.Background())
+		req, err := http.NewRequestWithContext(ctx, "GET", ts.URL+path+"?buffer=4", nil)
+		if err != nil {
+			stop()
+			return nil, err
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			stop()
+			return nil, err
+		}
+		return func() {
+			stop()
+			resp.Body.Close()
+		}, nil
+	}
+
+	const workers, perWorker, clusterCycles = 8, 13, 8 // 104 nodes, 8 clusters
+	var wg sync.WaitGroup
+	errs := make(chan error, workers+1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				resp, out := doJSON(t, "POST", ts.URL+"/v1/nodes", nodeBody)
+				if resp.StatusCode != 201 {
+					errs <- fmt.Errorf("create node: status %d (%v)", resp.StatusCode, out)
+					return
+				}
+				id, _ := out["id"].(string)
+				cancel, err := openStream("/v1/nodes/" + id + "/stream")
+				if err != nil {
+					errs <- fmt.Errorf("stream node %s: %w", id, err)
+					return
+				}
+				// Alternate teardown order: half the cycles delete the node
+				// under a live subscriber (fanout close ends the handler),
+				// half cancel the client first.
+				if i%2 == 0 {
+					doJSON(t, "DELETE", ts.URL+"/v1/nodes/"+id, "")
+					cancel()
+				} else {
+					cancel()
+					doJSON(t, "DELETE", ts.URL+"/v1/nodes/"+id, "")
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < clusterCycles; i++ {
+			resp, out := doJSON(t, "POST", ts.URL+"/v1/clusters", clusterBody)
+			if resp.StatusCode != 201 {
+				errs <- fmt.Errorf("create cluster: status %d (%v)", resp.StatusCode, out)
+				return
+			}
+			id, _ := out["id"].(string)
+			cancel, err := openStream("/v1/clusters/" + id + "/stream")
+			if err != nil {
+				errs <- fmt.Errorf("stream cluster %s: %w", id, err)
+				return
+			}
+			if i%2 == 0 {
+				doJSON(t, "DELETE", ts.URL+"/v1/clusters/"+id, "")
+				cancel()
+			} else {
+				cancel()
+				doJSON(t, "DELETE", ts.URL+"/v1/clusters/"+id, "")
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	client.CloseIdleConnections()
+
+	// Settle: HTTP conns, handler goroutines, and canceled sessions
+	// unwind asynchronously; poll rather than assert a fixed delay, and
+	// only fail if the count never returns to baseline.
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+		client.CloseIdleConnections()
+	}
+	t.Errorf("goroutines leaked across churn storm: baseline %d, settled at %d",
+		base, runtime.NumGoroutine())
+}

@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"runtime"
 	"runtime/debug"
 	"strings"
 	"sync"
@@ -232,12 +233,23 @@ type Node struct {
 	tickReal time.Duration
 	maxSim   time.Duration
 
-	mu         sync.Mutex // guards sess, last, lastSnap, state, failReason
+	mu         sync.Mutex // guards sess, last, state, failReason
 	sess       *driver.Session
 	last       Sample
-	lastSnap   driver.Snapshot // last coherent snapshot, for failed nodes
 	state      State
 	failReason string
+
+	// pubMu guards the published status view — the snapshot Status serves
+	// without touching sess or waiting on mu. advance refreshes it once
+	// per tick and mutations refresh it on apply, so status reads never
+	// queue behind a tick in progress (a free-running node holds mu
+	// almost continuously; before this split, every /v1/nodes/{id} read
+	// and every /metrics scrape serialized against the simulation).
+	pubMu    sync.Mutex
+	pubSnap  driver.Snapshot
+	pubLast  Sample
+	pubState State
+	pubFail  string
 
 	epoch  atomic.Uint64
 	fan    *telemetry.Fanout[Sample]
@@ -260,12 +272,19 @@ func (n *Node) Epoch() uint64 { return n.epoch.Load() }
 // Done is closed when the node's tick loop has exited.
 func (n *Node) Done() <-chan struct{} { return n.done }
 
-// SetCap changes the node's power cap live; the controller observes it on
-// its next decision interval.
+// SetCap changes a running node's power cap live; the controller observes
+// it on its next decision interval.
 func (n *Node) SetCap(watts float64) error {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return n.sess.SetCap(watts)
+	if n.state != StateRunning {
+		return fmt.Errorf("%w: node %s is %s", ErrNotRunning, n.id, n.state)
+	}
+	if err := n.sess.SetCap(watts); err != nil {
+		return err
+	}
+	n.publishStatus(n.sess.Snapshot())
+	return nil
 }
 
 // Subscribe registers a telemetry subscriber with the given ring-buffer
@@ -282,7 +301,11 @@ func (n *Node) InjectFault(f FaultConfig) error {
 	if n.state != StateRunning {
 		return fmt.Errorf("%w: node %s is %s", ErrNotRunning, n.id, n.state)
 	}
-	return n.sess.InjectFault(f.scenario())
+	if err := n.sess.InjectFault(f.scenario()); err != nil {
+		return err
+	}
+	n.publishStatus(n.sess.Snapshot())
+	return nil
 }
 
 // FaultInfo reports the node's scheduled faults and observed transitions.
@@ -307,19 +330,23 @@ func (n *Node) FaultInfo() FaultInfo {
 	return info
 }
 
-// Status reports the node's current state. A failed node reports its last
-// coherent snapshot rather than touching the broken session.
+// Status reports the node's current state, served from the published
+// snapshot: it never waits on the tick lock, so status reads and /metrics
+// scrapes stay fast while the simulation is mid-tick (and a failed node
+// keeps answering with its last coherent snapshot). The snapshot's slices
+// are immutable once published — each tick publishes freshly built ones —
+// so sharing them here is safe.
 func (n *Node) Status() NodeStatus {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	sn := n.lastSnap
-	if n.state != StateFailed {
-		sn = n.sess.Snapshot()
-	}
+	n.pubMu.Lock()
+	sn := n.pubSnap
+	last := n.pubLast
+	state := n.pubState
+	fail := n.pubFail
+	n.pubMu.Unlock()
 	return NodeStatus{
 		ID:             n.id,
 		Name:           n.cfg.Name,
-		State:          n.state,
+		State:          state,
 		Platform:       n.cfg.Platform,
 		Technique:      n.cfg.Technique,
 		Workloads:      n.apps,
@@ -327,7 +354,7 @@ func (n *Node) Status() NodeStatus {
 		SimS:           sn.Now.Seconds(),
 		CapWatts:       sn.CapWatts,
 		PowerWatts:     sn.PowerWatts,
-		MeanPowerWatts: n.last.MeanPowerWatts,
+		MeanPowerWatts: last.MeanPowerWatts,
 		PerfHBs:        sn.TotalRate(),
 		EnergyJ:        sn.EnergyJ,
 		Subscribers:    n.fan.Subscribers(),
@@ -337,8 +364,29 @@ func (n *Node) Status() NodeStatus {
 		Degradations:   sn.Degradations,
 		StreamDropped:  n.fan.TotalDropped(),
 		Zones:          sn.Zones,
-		FailReason:     n.failReason,
+		FailReason:     fail,
 	}
+}
+
+// publishStatus refreshes the published status view from a fresh session
+// snapshot. Callers hold n.mu (or solely own the node during build).
+func (n *Node) publishStatus(sn driver.Snapshot) {
+	n.pubMu.Lock()
+	n.pubSnap = sn
+	n.pubLast = n.last
+	n.pubState = n.state
+	n.pubFail = n.failReason
+	n.pubMu.Unlock()
+}
+
+// publishState refreshes only the state and failure reason of the
+// published view, leaving the last coherent snapshot in place — the
+// failed/stopped node's "still queryable" guarantee. Callers hold n.mu.
+func (n *Node) publishState() {
+	n.pubMu.Lock()
+	n.pubState = n.state
+	n.pubFail = n.failReason
+	n.pubMu.Unlock()
 }
 
 // StreamDropped counts samples lost across every stream subscriber this
@@ -370,6 +418,7 @@ func NewDetachedNode(cfg NodeConfig) (*Node, error) {
 	if cfg.MaxSimS > 0 {
 		n.maxSim = time.Duration(cfg.MaxSimS * float64(time.Second))
 	}
+	n.publishStatus(sess.Snapshot())
 	return n, nil
 }
 
@@ -422,6 +471,7 @@ func (n *Node) advance() (smp Sample, publish, cont bool) {
 			n.state = StateFailed
 			n.failReason = fmt.Sprintf("session panic: %v", r)
 			log.Printf("server: node %s failed: %v\n%s", n.id, r, debug.Stack())
+			n.publishState()
 			smp, publish, cont = Sample{}, false, false
 		}
 	}()
@@ -430,7 +480,6 @@ func (n *Node) advance() (smp Sample, publish, cont bool) {
 	}
 	n.sess.Advance(n.tickSim)
 	sn := n.sess.Snapshot()
-	n.lastSnap = sn
 	smp = Sample{
 		Node:           n.id,
 		Epoch:          n.epoch.Add(1),
@@ -447,6 +496,7 @@ func (n *Node) advance() (smp Sample, publish, cont bool) {
 	if n.maxSim > 0 && sn.Now >= n.maxSim {
 		n.state = StateDone
 	}
+	n.publishStatus(sn)
 	return smp, true, n.state == StateRunning
 }
 
@@ -476,6 +526,13 @@ func (n *Node) run(ctx context.Context) {
 				n.setState(StateStopped)
 				return
 			default:
+				// Free-running: yield between ticks. Without this, each
+				// free-running node is a CPU-bound goroutine the scheduler
+				// only preempts every ~10ms, and on small hosts every API
+				// handler queues behind those slices — the load harness
+				// measured a ~80ms latency floor across all endpoint
+				// classes from two such nodes on one core.
+				runtime.Gosched()
 			}
 		}
 		if !n.tick() {
@@ -489,6 +546,7 @@ func (n *Node) setState(s State) {
 	if n.state == StateRunning {
 		n.state = s
 	}
+	n.publishState()
 	n.mu.Unlock()
 }
 
@@ -601,6 +659,9 @@ func (m *Manager) Create(cfg NodeConfig) (*Node, error) {
 	if cfg.MaxSimS > 0 {
 		n.maxSim = time.Duration(cfg.MaxSimS * float64(time.Second))
 	}
+	// Publish the initial status before the node becomes reachable through
+	// the registry, so a racing reader never sees a zero snapshot.
+	n.publishStatus(sess.Snapshot())
 
 	m.mu.Lock()
 	if m.closed {

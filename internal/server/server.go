@@ -254,6 +254,13 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
+	if flusher != nil {
+		// Flush the response header immediately: the subscriber is
+		// registered, and a client must be able to observe that before
+		// the first sample arrives (an idle node may not tick for a
+		// while).
+		flusher.Flush()
+	}
 	enc := pipeline.NewStreamEncoder(w)
 	sent := 0
 	for {
