@@ -8,7 +8,7 @@
 //
 // -only selects a comma-separated subset of experiment names:
 // table1,table2,fig1,eas,table3,fig3,fig4,fig5,table4,table5,fig6,table6,fig7,fig8,
-// sensitivity,chaos,cluster,hierarchy,chaoscluster. Unknown names are an
+// sensitivity,chaos,cluster,hierarchy,chaoscluster,thermal. Unknown names are
 // error (a typo would otherwise silently reproduce nothing).
 //
 // -parallel bounds the sweep worker pool (default: all cores). Results are
@@ -38,6 +38,7 @@ var experimentNames = []string{
 	"table1", "table2", "fig1", "table3", "fig3", "fig4", "fig5",
 	"table4", "table5", "fig6", "table6", "fig7", "sensitivity",
 	"eas", "fig8", "chaos", "cluster", "hierarchy", "chaoscluster",
+	"thermal",
 }
 
 func main() {
@@ -215,6 +216,16 @@ func main() {
 			fatal(err)
 		}
 		emit("chaoscluster", t, *csvDir)
+	}
+	if want("thermal") {
+		if _, err := experiment.ThermalOpts(ctx, cfg, opts("thermal grid")); err != nil {
+			fatal(err)
+		}
+		t, err := experiment.TableThermal(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		emit("thermal", t, *csvDir)
 	}
 	if want("hierarchy") {
 		if _, err := experiment.HierarchyOpts(ctx, cfg, opts("hierarchy grid")); err != nil {

@@ -79,6 +79,12 @@ type Scenario struct {
 	// capping, with exponential-backoff recovery probes. Zero fields take
 	// defaults.
 	Watchdog *WatchdogConfig
+	// ThermalGovernor, when non-nil, enables the thermal-headroom
+	// governor: the RAPL cap is pre-emptively tightened as the junction
+	// approaches TjMax instead of waiting for the package protection's
+	// duty-cycle cliff. Requires a thermal platform and hardware capping
+	// support (silently inert otherwise). Zero fields take defaults.
+	ThermalGovernor *ThermalGovernorConfig
 }
 
 // Result is the outcome of a run.
@@ -130,6 +136,12 @@ type Result struct {
 	// spent thermally throttled (zero on platforms without the model).
 	MaxTempC            float64
 	ThermalThrottleFrac float64
+	// ThermalGovernedFrac is the fraction of the run the thermal-headroom
+	// governor spent engaged on at least one socket (zero without a
+	// governor); FinalTempsC are the per-socket junction temperatures at
+	// the end of the run (nil without a thermal model).
+	ThermalGovernedFrac float64
+	FinalTempsC         []float64
 	// BreachSeconds is the wall-clock time the (400 ms-smoothed) true power
 	// spent above cap*1.03 after the 1 s grace period — ViolationFrac
 	// integrated into seconds.
@@ -255,6 +267,21 @@ func buildWorld(s Scenario) (*world, *sim.Runner, error) {
 	}
 	for _, fw := range w.firmwares {
 		runner.Register(fw)
+	}
+	// The thermal-headroom governor sits between the firmware and the
+	// controller: a firmware-adjacent protection rung that tightens the
+	// cap registers before the technique's next decision reads them.
+	if s.ThermalGovernor != nil && s.Platform.Thermal != nil && !s.NoRAPL {
+		w.govScale = make([]float64, s.Platform.Sockets)
+		w.govEngaged = make([]bool, s.Platform.Sockets)
+		for i := range w.govScale {
+			w.govScale[i] = 1
+		}
+		runner.Register(&thermalGovernor{
+			w:       w,
+			cfg:     s.ThermalGovernor.withDefaults(),
+			scratch: make([]float64, 0, s.Platform.Sockets),
+		})
 	}
 	runner.Register(&controllerTicker{w: w, c: w.ctrl})
 	if w.dog != nil {

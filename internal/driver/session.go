@@ -159,6 +159,32 @@ func (s *Session) ZonePowers(buf []ZonePower) []ZonePower {
 	return s.w.zonePowers(buf)
 }
 
+// SocketTherm is one socket's live thermal state: the junction
+// temperature of a package zone, whether the hardware protection is
+// clock-throttling it, and the thermal-headroom governor's engagement and
+// cap multiplier for it.
+type SocketTherm struct {
+	// Zone is the package zone label ("package_0").
+	Zone string `json:"zone"`
+	// TempC is the junction temperature.
+	TempC float64 `json:"temp_c"`
+	// Throttled reports the package protection's ThrottleDuty clock
+	// modulation being active.
+	Throttled bool `json:"throttled,omitempty"`
+	// Governed reports the thermal-headroom governor being engaged on
+	// this socket; CapScale is its cap multiplier (1 when unengaged or no
+	// governor is armed).
+	Governed bool    `json:"governed,omitempty"`
+	CapScale float64 `json:"cap_scale"`
+}
+
+// Thermals appends the node's live per-socket thermal state to buf and
+// returns the extended slice; it appends nothing on platforms without a
+// thermal model.
+func (s *Session) Thermals(buf []SocketTherm) []SocketTherm {
+	return s.w.thermals(buf)
+}
+
 // MeanPower returns the node's mean true power over the trailing window.
 func (s *Session) MeanPower(window time.Duration) float64 {
 	from := s.Now() - window
@@ -203,6 +229,9 @@ type Snapshot struct {
 	// Zones are the per-socket RAPL-style zone readings (package total
 	// with its programmed cap, then core and dram components).
 	Zones []ZonePower
+	// Thermal is the live per-socket thermal state (nil on platforms
+	// without a thermal model).
+	Thermal []SocketTherm
 	// BreachSeconds is the running time spent above cap*1.03.
 	BreachSeconds float64
 	// FaultsActive counts fault scenarios currently in effect.
@@ -243,6 +272,9 @@ func (s *Session) Snapshot() Snapshot {
 		BreachSeconds: s.BreachSeconds(),
 		FaultsActive:  s.FaultsActive(),
 		DegradeLevel:  s.DegradeLevel().String(),
+	}
+	if len(s.w.tempC) > 0 {
+		sn.Thermal = s.w.thermals(make([]SocketTherm, 0, len(s.w.tempC)))
 	}
 	sn.Degradations = len(s.Degradations())
 	return sn

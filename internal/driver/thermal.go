@@ -1,0 +1,144 @@
+package driver
+
+import (
+	"math"
+	"time"
+)
+
+// ThermalGovernorConfig tunes the thermal-headroom governor: a
+// firmware-adjacent control rung that pre-emptively tightens the
+// per-socket RAPL cap as the junction temperature approaches TjMax. The
+// package's own protection — ThrottleDuty clock modulation — is a blunt
+// reactive cliff that chops the clock by more than half once the limit is
+// already reached; the governor instead shaves the power budget
+// proportionally to the vanishing headroom, holding the junction just
+// below the trip point while the capping technique keeps optimizing under
+// the tightened budget. Zero fields take defaults.
+type ThermalGovernorConfig struct {
+	// Period is the governor's decision cadence.
+	Period time.Duration
+	// HeadroomC is the guard band below TjMax where tightening begins:
+	// at TjMax−HeadroomC the scale is 1, falling linearly to MinScale as
+	// the junction nears TjMax.
+	HeadroomC float64
+	// ReleaseC is the extra cooling below the guard band required before
+	// a socket fully disengages (hysteresis against cap flapping).
+	ReleaseC float64
+	// MinScale floors the cap multiplier so a hot socket is squeezed, not
+	// starved.
+	MinScale float64
+}
+
+// DefaultThermalGovernor returns the governor configuration used by the
+// thermal experiments and pupild nodes that arm the governor.
+func DefaultThermalGovernor() *ThermalGovernorConfig { return &ThermalGovernorConfig{} }
+
+func (c ThermalGovernorConfig) withDefaults() ThermalGovernorConfig {
+	if c.Period <= 0 {
+		c.Period = 50 * time.Millisecond
+	}
+	if c.HeadroomC <= 0 {
+		// Narrow on purpose: proportional control droops. The governed
+		// equilibrium sits where the scaled cap equals the sustainable
+		// power, at T = TjMax − scale·HeadroomC — so the stranded headroom
+		// is proportional to the band width. A 3 C band parks the junction
+		// ~2 C below TjMax and gives away enough sustainable Watts that
+		// the reactive duty-cycle throttle (whose oscillation straddles
+		// TjMax itself) delivers more cycle-average performance. At 1 C
+		// the droop shrinks to well under a degree while the discrete loop
+		// gain (period/tau)·(1 + Rth·perSocketCap/HeadroomC) stays below
+		// one for any realistic per-socket cap.
+		c.HeadroomC = 1
+	}
+	if c.ReleaseC <= 0 {
+		c.ReleaseC = 2
+	}
+	if c.MinScale <= 0 {
+		c.MinScale = 0.4
+	}
+	return c
+}
+
+// thermalGovernor is the sim.Ticker driving the headroom loop. Each tick
+// it recomputes the per-socket cap scale from the live junction
+// temperature and re-programs the firmware when any scale or engagement
+// latch moved. When no software cap distribution exists (a software-only
+// technique, or an uncapped run), the governor owns the registers itself
+// with an even split of the node cap, and returns them to zero on full
+// release.
+type thermalGovernor struct {
+	w       *world
+	cfg     ThermalGovernorConfig
+	scratch []float64
+}
+
+func (g *thermalGovernor) Period() time.Duration { return g.cfg.Period }
+
+func (g *thermalGovernor) Tick(now time.Duration) {
+	w := g.w
+	th := w.plat.Thermal
+	w.govTotalTicks++
+	enter := th.TjMaxC - g.cfg.HeadroomC
+	changed := false
+	engagedAny := false
+	for s := range w.tempC {
+		t := w.tempC[s]
+		engaged := w.govEngaged[s]
+		if !engaged && t >= enter {
+			engaged = true
+		} else if engaged && t < enter-g.cfg.ReleaseC {
+			engaged = false
+		}
+		scale := 1.0
+		if engaged {
+			scale = (th.TjMaxC - t) / g.cfg.HeadroomC
+			if scale < g.cfg.MinScale {
+				scale = g.cfg.MinScale
+			}
+			if scale > 1 {
+				scale = 1
+			}
+			// Quantize to 1/64 steps so sub-percent temperature jitter
+			// does not re-program the cap registers every tick.
+			scale = math.Round(scale*64) / 64
+			engagedAny = true
+		}
+		if scale != w.govScale[s] || engaged != w.govEngaged[s] {
+			changed = true
+		}
+		w.govScale[s] = scale
+		w.govEngaged[s] = engaged
+	}
+	if engagedAny {
+		w.govTicks++
+	}
+	if !changed || len(w.firmwares) == 0 {
+		return
+	}
+	if len(w.lastCapReq) > 0 && !w.govOwns {
+		// Re-issue the software distribution; applyCaps folds the new
+		// scales into every register write.
+		w.applyCaps(now, w.lastCapReq)
+		return
+	}
+	if !engagedAny && w.govOwns {
+		// Full release of registers the governor programmed itself.
+		for _, fw := range w.firmwares {
+			fw.SetCap(now, 0)
+		}
+		w.lastCapReq = w.lastCapReq[:0]
+		w.hwOwned = false
+		w.govOwns = false
+		return
+	}
+	// No software distribution to scale: own the registers with an even
+	// split of the node cap, tightened by the per-socket scales.
+	per := w.capW / float64(w.plat.Sockets)
+	g.scratch = g.scratch[:0]
+	for range w.govScale {
+		g.scratch = append(g.scratch, per)
+	}
+	w.applyCaps(now, g.scratch)
+	w.hwOwned = true
+	w.govOwns = true
+}

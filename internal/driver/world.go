@@ -1,6 +1,7 @@
 package driver
 
 import (
+	"math"
 	"time"
 
 	"pupil/internal/core"
@@ -63,6 +64,26 @@ type world struct {
 	maxTempC      float64
 	throttleTicks int
 	totalTicks    int
+	// evalTempQ is the quantized temperature vector the current eval was
+	// computed at; when leakage makes power temperature-dependent, a
+	// quantization-cell crossing marks the eval stale, closing the
+	// power→temp→leakage→power loop one relaxation sweep per tick.
+	evalTempQ []float64
+	// thermK caches 1−exp(−dt/τ) for the current tick length, so the
+	// integration hot path pays one Exp per dt change, not per tick.
+	thermK   float64
+	thermKdt time.Duration
+
+	// Thermal-headroom governor state (nil slices when no governor): the
+	// per-socket cap multiplier applied inside applyCaps, engagement
+	// latches, and time accounting. govOwns marks cap registers the
+	// governor programmed itself (no software distribution existed), so
+	// release can return them to zero instead of stranding a cap.
+	govScale      []float64
+	govEngaged    []bool
+	govOwns       bool
+	govTicks      int
+	govTotalTicks int
 
 	powerSensor *telemetry.Sensor
 	perfSensor  *telemetry.Sensor
@@ -188,6 +209,7 @@ func newWorld(s Scenario, apps []*workload.Instance, rng *sim.RNG) *world {
 	if th := s.Platform.Thermal; th != nil {
 		w.tempC = make([]float64, s.Platform.Sockets)
 		w.throttling = make([]bool, s.Platform.Sockets)
+		w.evalTempQ = make([]float64, s.Platform.Sockets)
 		for i := range w.tempC {
 			w.tempC[i] = th.AmbientC
 		}
@@ -266,7 +288,10 @@ func (w *world) refresh(now time.Duration) {
 			}
 		}
 	}
-	w.eval = w.evaluator.Eval(cfg, now)
+	w.eval = w.evaluator.EvalAt(cfg, now, w.tempC)
+	for s := range w.evalTempQ {
+		w.evalTempQ[s] = system.QuantizeTempC(w.tempC[s])
+	}
 	w.evalCfg = cfg
 	w.evalStale = false
 	w.lastEval = now
@@ -294,6 +319,27 @@ func (w *world) zonePowers(buf []ZonePower) []ZonePower {
 	return buf
 }
 
+// thermals appends the node's live per-socket thermal state to buf: the
+// junction temperature, whether the package protection is clock-chopping,
+// and the thermal-headroom governor's engagement and cap scale. Empty on
+// platforms without a thermal model.
+func (w *world) thermals(buf []SocketTherm) []SocketTherm {
+	for s := range w.tempC {
+		st := SocketTherm{
+			Zone:      w.zoneNames[s][0],
+			TempC:     w.tempC[s],
+			Throttled: w.throttling[s],
+			CapScale:  1,
+		}
+		if s < len(w.govScale) {
+			st.Governed = w.govEngaged[s]
+			st.CapScale = w.govScale[s]
+		}
+		buf = append(buf, st)
+	}
+	return buf
+}
+
 // itoa is strconv.Itoa for the small non-negative ints of socket labels,
 // kept local so world.go's construction path stays dependency-light.
 func itoa(n int) string {
@@ -311,15 +357,25 @@ func (w *world) stepThermal(dt time.Duration) {
 		return
 	}
 	w.totalTicks++
-	dtS := dt.Seconds()
+	// Exact exponential step of dT/dt = (P − (T − Tamb)/Rth)/Cth with P
+	// held over the tick: T relaxes toward Tss = Tamb + P·Rth by a factor
+	// 1 − exp(−dt/τ), τ = Rth·Cth. Unconditionally stable and monotone at
+	// any tick length — the forward-Euler update this replaces left the
+	// unit circle at dt ≥ τ and oscillated to absurd temperatures on
+	// coarse-tick sessions. The factor is cached per tick length so the
+	// hot path pays one Exp per dt change, not per tick.
+	if dt != w.thermKdt {
+		w.thermKdt = dt
+		w.thermK = 1 - math.Exp(-dt.Seconds()/(th.RthCPerW*th.CthJPerC))
+	}
 	throttlingNow := false
 	for s := range w.tempC {
 		p := 0.0
 		if s < len(w.eval.PowerSocket) {
 			p = w.eval.PowerSocket[s]
 		}
-		// dT/dt = (P - (T - Tamb)/Rth) / Cth
-		w.tempC[s] += dtS * (p - (w.tempC[s]-th.AmbientC)/th.RthCPerW) / th.CthJPerC
+		tss := th.AmbientC + p*th.RthCPerW
+		w.tempC[s] += (tss - w.tempC[s]) * w.thermK
 		if w.tempC[s] > w.maxTempC {
 			w.maxTempC = w.tempC[s]
 		}
@@ -336,6 +392,21 @@ func (w *world) stepThermal(dt time.Duration) {
 	}
 	if throttlingNow {
 		w.throttleTicks++
+	}
+	// With temperature-dependent leakage the eval's power is a function of
+	// T: crossing a quantization cell invalidates it, so the next consumer
+	// (sensor, firmware, controller) sees power at the new temperature.
+	// This is the per-tick relaxation sweep of the power→temp→leakage→power
+	// fixed point; the TDP clamp bounds it and quantization keeps it from
+	// re-evaluating on sub-cell drift. Leakage-free platforms take no new
+	// staleness, keeping their tick loop untouched.
+	if w.plat.Leakage != nil {
+		for s := range w.tempC {
+			if system.QuantizeTempC(w.tempC[s]) != w.evalTempQ[s] {
+				w.evalStale = true
+				break
+			}
+		}
 	}
 }
 
@@ -536,8 +607,12 @@ func (w *world) SetRAPL(perSocket []float64) {
 		w.pendingCaps = nil
 		w.lastCapReq = nil
 		w.hwOwned = false
+		w.govOwns = false
 		return
 	}
+	// Software takes over the cap registers: from here the governor scales
+	// the software distribution instead of owning registers outright.
+	w.govOwns = false
 	engaged := false
 	for _, fw := range w.firmwares {
 		if fw.Cap() > 0 {
@@ -561,13 +636,19 @@ func (w *world) SetRAPL(perSocket []float64) {
 // applyCaps programs every firmware from the distribution vector. The
 // requested distribution is remembered pre-corruption so a register repair
 // (fault clearing) can restore what software intended; the write itself
-// passes through the misprogramming filter.
+// passes through the misprogramming filter. The thermal-headroom
+// governor's per-socket scale multiplies every write, so any cap path —
+// controller distribution, watchdog floor, deferred redistribution,
+// register repair — is tightened while a socket is short on headroom.
 func (w *world) applyCaps(now time.Duration, perSocket []float64) {
 	w.lastCapReq = append(w.lastCapReq[:0], perSocket...)
 	for s, fw := range w.firmwares {
 		c := 0.0
 		if s < len(perSocket) {
 			c = perSocket[s]
+		}
+		if s < len(w.govScale) {
+			c *= w.govScale[s]
 		}
 		fw.SetCap(now, w.faults.FilterRAPLCap(now, c))
 	}
@@ -673,6 +754,10 @@ func (w *world) result(s Scenario) Result {
 	if w.totalTicks > 0 {
 		res.ThermalThrottleFrac = float64(w.throttleTicks) / float64(w.totalTicks)
 	}
+	if w.govTotalTicks > 0 {
+		res.ThermalGovernedFrac = float64(w.govTicks) / float64(w.govTotalTicks)
+	}
+	res.FinalTempsC = append([]float64(nil), w.tempC...)
 	// Enforcement is judged on a 400 ms-averaged trace: RAPL's contract
 	// is an energy budget per averaging window (the firmware legitimately
 	// alternates operating points within it), and physical power meters

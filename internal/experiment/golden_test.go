@@ -85,6 +85,22 @@ func TestGoldenChaosTables(t *testing.T) {
 	}
 }
 
+// TestGoldenThermalTable pins the quick-config thermal comparison — 2
+// techniques x 3 cooling environments, duty-cycle throttle vs headroom
+// governor — byte for byte. The table is the PR's acceptance evidence:
+// governor columns beat throttle columns wherever the junction binds,
+// without exceeding TjMax.
+func TestGoldenThermalTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the quick thermal grid")
+	}
+	d, err := ThermalOpts(context.Background(), quickCfg(), RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "thermal_quick.csv", goldenCSV(tableThermalFrom(d)))
+}
+
 // TestGoldenHierarchyTable pins the quick-config flat-vs-tree comparison —
 // 2 adaptive policies x 3 budget-domain arrangements over the same 8 nodes
 // and budget ramp — byte for byte.

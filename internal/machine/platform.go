@@ -59,6 +59,68 @@ type Platform struct {
 	// of the paper's introduction — a chip whose peak power exceeds its
 	// sustainable heat dissipation can hold peak speed only briefly.
 	Thermal *Thermal
+
+	// Leakage, when non-nil, makes a socket's static power grow with its
+	// junction temperature (subthreshold leakage is exponential in T).
+	// It closes the power→temp→leakage→power feedback loop: hot silicon
+	// draws more power, which heats it further, until the RC model and
+	// the TDP clamp settle the fixed point. Nil keeps the power model
+	// temperature-independent, which is how the reference platforms are
+	// calibrated.
+	Leakage *LeakageModel
+}
+
+// LeakageModel describes temperature-dependent static power per socket as
+// an excess over the calibration point: the platform's power constants
+// already include the leakage drawn at TRefC, and ExcessW adds only the
+// growth above it. By construction the excess is exactly zero at (or
+// below) TRefC, so platform totals at ambient calibration temperature are
+// unchanged bit for bit.
+type LeakageModel struct {
+	// RefLeakW is the leakage component baked into the platform's static
+	// power constants at TRefC; it scales the exponential.
+	RefLeakW float64
+	// TRefC is the junction temperature at which the platform's power
+	// constants were calibrated (typically ambient).
+	TRefC float64
+	// DoublingC is the temperature rise that doubles leakage.
+	DoublingC float64
+	// MaxW bounds the excess so a runaway model cannot demand unbounded
+	// power from the simulation.
+	MaxW float64
+}
+
+// ExcessW returns the temperature-driven leakage in excess of the
+// calibration point: RefLeakW * (2^((t-TRef)/DoublingC) - 1), clamped to
+// [0, MaxW]. A zero temperature means "unmodeled" and yields zero, as does
+// any temperature at or below TRefC.
+func (l *LeakageModel) ExcessW(tC float64) float64 {
+	if tC == 0 || tC <= l.TRefC {
+		return 0
+	}
+	e := l.RefLeakW * (math.Exp2((tC-l.TRefC)/l.DoublingC) - 1)
+	if e > l.MaxW {
+		return l.MaxW
+	}
+	return e
+}
+
+// Validate reports whether the leakage model is self-consistent. All
+// fields must be finite: NaN propagates silently through the power model
+// and poisons every downstream golden.
+func (l *LeakageModel) Validate() error {
+	if !isFinite(l.RefLeakW) || !isFinite(l.TRefC) || !isFinite(l.DoublingC) || !isFinite(l.MaxW) {
+		return fmt.Errorf("machine: leakage model has non-finite fields")
+	}
+	switch {
+	case l.RefLeakW <= 0:
+		return fmt.Errorf("machine: leakage reference %.2f W must be positive", l.RefLeakW)
+	case l.DoublingC <= 0:
+		return fmt.Errorf("machine: leakage doubling interval %.2f C must be positive", l.DoublingC)
+	case l.MaxW <= 0:
+		return fmt.Errorf("machine: leakage bound %.2f W must be positive", l.MaxW)
+	}
+	return nil
 }
 
 // Thermal is a lumped RC junction model per socket: the junction heats
@@ -83,8 +145,14 @@ func (t *Thermal) SustainableWatts() float64 {
 	return (t.TjMaxC - t.AmbientC) / t.RthCPerW
 }
 
-// Validate reports whether the thermal model is self-consistent.
+// Validate reports whether the thermal model is self-consistent. Every
+// comparison below is false for NaN, so finiteness is checked explicitly
+// first — a NaN Rth would otherwise validate cleanly and poison the sim.
 func (t *Thermal) Validate() error {
+	if !isFinite(t.RthCPerW) || !isFinite(t.CthJPerC) || !isFinite(t.TjMaxC) ||
+		!isFinite(t.AmbientC) || !isFinite(t.ThrottleDuty) || !isFinite(t.HysteresisC) {
+		return fmt.Errorf("machine: thermal model has non-finite fields")
+	}
 	switch {
 	case t.RthCPerW <= 0 || t.CthJPerC <= 0:
 		return fmt.Errorf("machine: thermal model needs positive Rth and Cth")
@@ -200,6 +268,37 @@ func MobileSoC() *Platform {
 	}
 }
 
+// E52690ThermalServer returns the reference server with a thermally
+// constrained package: a denser chassis (higher junction-to-ambient
+// resistance, low thermal mass so experiments reach steady state in
+// simulated seconds) and temperature-dependent leakage. Unlike the
+// reference platform, its sustainable dissipation sits *below* the
+// flat-out draw, so the thermal limit — not the TDP — is the binding
+// constraint, and how a capping technique handles the approach to TjMax
+// (reactive clock chopping vs pre-emptive cap tightening) becomes
+// measurable. The leakage model is delta-form: excess is zero at the
+// 25 C calibration point, so at ambient the totals match E52690Server
+// bit for bit.
+func E52690ThermalServer() *Platform {
+	p := E52690Server()
+	p.Name = "2x Intel Xeon E5-2690 (dense chassis, thermally constrained)"
+	p.Thermal = &Thermal{
+		RthCPerW:     0.65, // sustainable ~108 W/socket at 25 C ambient, below flat-out draw
+		CthJPerC:     6,    // die + spreader mass only: tau ~4 s
+		TjMaxC:       95,
+		AmbientC:     25,
+		ThrottleDuty: 0.4,
+		HysteresisC:  5,
+	}
+	p.Leakage = &LeakageModel{
+		RefLeakW:  4, // leakage share of the static power calibrated at 25 C
+		TRefC:     25,
+		DoublingC: 24, // ~11 W excess at 70 C, ~25 W near TjMax
+		MaxW:      25,
+	}
+	return p
+}
+
 // Validate reports whether the platform description is internally
 // consistent.
 func (p *Platform) Validate() error {
@@ -215,6 +314,23 @@ func (p *Platform) Validate() error {
 	case len(p.FreqsGHz) == 0:
 		return fmt.Errorf("machine: platform %q has no p-states", p.Name)
 	}
+	// The ordering comparisons below are all false for NaN, so a NaN
+	// p-state or power constant would slip through them; reject
+	// non-finite values up front.
+	for i, f := range p.FreqsGHz {
+		if !isFinite(f) || f <= 0 {
+			return fmt.Errorf("machine: platform %q p-state %d is %v", p.Name, i, f)
+		}
+	}
+	for _, v := range []float64{
+		p.TurboGHz, p.SocketTDP, p.UncoreActive, p.SocketParked, p.CoreIdle,
+		p.CoreCd, p.VoltBase, p.VoltSlope, p.TurboVolt, p.HTPowerFactor,
+		p.StallPowerFactor, p.MemCtlIdle, p.MemCtlDyn, p.BWPerCtlGBs, p.PerCoreBWGBs,
+	} {
+		if !isFinite(v) {
+			return fmt.Errorf("machine: platform %q has non-finite power constants", p.Name)
+		}
+	}
 	for i := 1; i < len(p.FreqsGHz); i++ {
 		if p.FreqsGHz[i] <= p.FreqsGHz[i-1] {
 			return fmt.Errorf("machine: platform %q p-states not strictly ascending at index %d", p.Name, i)
@@ -228,7 +344,16 @@ func (p *Platform) Validate() error {
 			return err
 		}
 	}
+	if p.Leakage != nil {
+		if err := p.Leakage.Validate(); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+func isFinite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
 }
 
 // NumFreqSettings returns the number of speed settings: the p-states plus

@@ -17,6 +17,11 @@ type SocketLoad struct {
 	// BWGBs is the memory bandwidth drawn through this socket's
 	// controller, used for controller dynamic power.
 	BWGBs float64
+	// TempC is the socket's junction temperature, feeding the platform's
+	// temperature-dependent leakage model when one is configured. Zero
+	// means "unmodeled": the power model then behaves exactly as it did
+	// before temperature existed.
+	TempC float64
 }
 
 // SocketPower returns the modeled power of socket s under configuration c
@@ -55,6 +60,14 @@ func (p *Platform) SocketPower(c Config, s int, load SocketLoad) float64 {
 	if s < c.MemCtls {
 		util := clampF(load.BWGBs/p.BWPerCtlGBs, 0, 1)
 		w += p.MemCtlIdle + util*p.MemCtlDyn
+	}
+
+	// Temperature-dependent leakage: hot silicon draws more static power.
+	// Parked sockets are power-gated and draw none, so only this active
+	// branch pays it. ExcessW is exactly zero at the calibration
+	// temperature, keeping ambient-temperature totals bit-identical.
+	if p.Leakage != nil {
+		w += p.Leakage.ExcessW(load.TempC)
 	}
 
 	if w > p.SocketTDP {
@@ -110,6 +123,11 @@ func (p *Platform) SocketPowerBreakdown(c Config, s int, load SocketLoad) PowerB
 		if s < c.MemCtls {
 			util := clampF(load.BWGBs/p.BWPerCtlGBs, 0, 1)
 			b.DramW = p.MemCtlIdle + util*p.MemCtlDyn
+		}
+		// Leakage lives in the core zone: it is transistor static power,
+		// mirroring the term SocketPower adds to the total.
+		if p.Leakage != nil {
+			b.CoreW += p.Leakage.ExcessW(load.TempC)
 		}
 	}
 	// When the TDP clamp lowered the total below the raw component sum,

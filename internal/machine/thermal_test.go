@@ -1,0 +1,194 @@
+package machine
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// At the calibration temperature (and below, and at the unmodeled zero),
+// a leakage-enabled platform must produce bit-identical power to its
+// leakage-free twin: the model is delta-form by construction.
+func TestLeakageAmbientIdentity(t *testing.T) {
+	base := E52690ThermalServer()
+	plain := E52690ThermalServer()
+	plain.Leakage = nil
+
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		c := randomConfig(rng, base)
+		for s := 0; s < base.Sockets; s++ {
+			load := randomLoad(rng)
+			for _, temp := range []float64{0, base.Leakage.TRefC, base.Leakage.TRefC - 30} {
+				load.TempC = temp
+				got := base.SocketPower(c, s, load)
+				want := plain.SocketPower(c, s, load)
+				if got != want {
+					t.Fatalf("trial %d socket %d T=%.1f: leakage platform %v W != plain %v W", trial, s, temp, got, want)
+				}
+				gb := base.SocketPowerBreakdown(c, s, load)
+				pb := plain.SocketPowerBreakdown(c, s, load)
+				if gb != pb {
+					t.Fatalf("trial %d socket %d T=%.1f: breakdown %+v != %+v", trial, s, temp, gb, pb)
+				}
+			}
+		}
+	}
+}
+
+// Leakage is monotone in temperature: for any fixed config and load, a
+// hotter junction never draws less power.
+func TestLeakageMonotoneInTemperature(t *testing.T) {
+	p := E52690ThermalServer()
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		c := randomConfig(rng, p)
+		s := rng.Intn(p.Sockets)
+		load := randomLoad(rng)
+		prev := math.Inf(-1)
+		for temp := 0.0; temp <= 120; temp += 2.5 {
+			load.TempC = temp
+			w := p.SocketPower(c, s, load)
+			if w < prev {
+				t.Fatalf("trial %d: power fell from %v to %v W as T rose to %.1f C", trial, prev, w, temp)
+			}
+			prev = w
+		}
+	}
+}
+
+func TestLeakageExcessBounds(t *testing.T) {
+	l := &LeakageModel{RefLeakW: 6, TRefC: 25, DoublingC: 22, MaxW: 40}
+	if got := l.ExcessW(0); got != 0 {
+		t.Fatalf("unmodeled temperature: got %v W, want 0", got)
+	}
+	if got := l.ExcessW(25); got != 0 {
+		t.Fatalf("at TRef: got %v W, want 0", got)
+	}
+	if got := l.ExcessW(-40); got != 0 {
+		t.Fatalf("below TRef: got %v W, want 0", got)
+	}
+	if got := l.ExcessW(47); math.Abs(got-6) > 1e-12 {
+		t.Fatalf("one doubling above TRef: got %v W, want 6", got)
+	}
+	if got := l.ExcessW(500); got != 40 {
+		t.Fatalf("runaway temperature: got %v W, want MaxW clamp 40", got)
+	}
+}
+
+// Thermal.Validate, Platform.Validate and LeakageModel.Validate must all
+// reject non-finite fields: every ordering comparison is false for NaN, so
+// without explicit checks a NaN Rth or p-state validates cleanly.
+func TestValidateRejectsNonFinite(t *testing.T) {
+	nan := math.NaN()
+	inf := math.Inf(1)
+
+	therm := func(mut func(*Thermal)) *Thermal {
+		th := *E52690Server().Thermal
+		mut(&th)
+		return &th
+	}
+	badThermals := []*Thermal{
+		therm(func(th *Thermal) { th.RthCPerW = nan }),
+		therm(func(th *Thermal) { th.CthJPerC = nan }),
+		therm(func(th *Thermal) { th.TjMaxC = nan }),
+		therm(func(th *Thermal) { th.AmbientC = nan }),
+		therm(func(th *Thermal) { th.ThrottleDuty = nan }),
+		therm(func(th *Thermal) { th.HysteresisC = nan }),
+		therm(func(th *Thermal) { th.RthCPerW = inf }),
+		therm(func(th *Thermal) { th.TjMaxC = inf }),
+	}
+	for i, th := range badThermals {
+		if err := th.Validate(); err == nil {
+			t.Errorf("thermal case %d: non-finite field validated cleanly: %+v", i, th)
+		}
+	}
+
+	leak := func(mut func(*LeakageModel)) *LeakageModel {
+		l := *E52690ThermalServer().Leakage
+		mut(&l)
+		return &l
+	}
+	badLeaks := []*LeakageModel{
+		leak(func(l *LeakageModel) { l.RefLeakW = nan }),
+		leak(func(l *LeakageModel) { l.TRefC = nan }),
+		leak(func(l *LeakageModel) { l.DoublingC = nan }),
+		leak(func(l *LeakageModel) { l.MaxW = inf }),
+		leak(func(l *LeakageModel) { l.RefLeakW = -1 }),
+		leak(func(l *LeakageModel) { l.DoublingC = 0 }),
+	}
+	for i, l := range badLeaks {
+		if err := l.Validate(); err == nil {
+			t.Errorf("leakage case %d: invalid model validated cleanly: %+v", i, l)
+		}
+	}
+
+	plat := func(mut func(*Platform)) *Platform {
+		p := E52690Server()
+		mut(p)
+		return p
+	}
+	badPlats := []*Platform{
+		plat(func(p *Platform) { p.FreqsGHz[3] = nan }),
+		plat(func(p *Platform) { p.TurboGHz = nan }),
+		plat(func(p *Platform) { p.SocketTDP = nan }),
+		plat(func(p *Platform) { p.CoreCd = inf }),
+		plat(func(p *Platform) { p.VoltSlope = nan }),
+		plat(func(p *Platform) { p.Thermal.AmbientC = nan }),
+		plat(func(p *Platform) { p.Leakage = &LeakageModel{RefLeakW: nan, TRefC: 25, DoublingC: 22, MaxW: 40} }),
+	}
+	for i, p := range badPlats {
+		if err := p.Validate(); err == nil {
+			t.Errorf("platform case %d: non-finite field validated cleanly", i)
+		}
+	}
+
+	if err := E52690ThermalServer().Validate(); err != nil {
+		t.Fatalf("E52690ThermalServer does not validate: %v", err)
+	}
+}
+
+// Breakdown totals must keep matching SocketPower bit for bit with leakage
+// active at arbitrary temperatures, including under the TDP clamp.
+func TestBreakdownMatchesTotalWithLeakage(t *testing.T) {
+	p := E52690ThermalServer()
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 500; trial++ {
+		c := randomConfig(rng, p)
+		s := rng.Intn(p.Sockets)
+		load := randomLoad(rng)
+		load.TempC = rng.Float64() * 120
+		b := p.SocketPowerBreakdown(c, s, load)
+		if want := p.SocketPower(c, s, load); b.TotalW != want {
+			t.Fatalf("trial %d: breakdown total %v != SocketPower %v", trial, b.TotalW, want)
+		}
+		if sum := b.CoreW + b.DramW + b.UncoreW; math.Abs(sum-b.TotalW) > 1e-9 {
+			t.Fatalf("trial %d: components sum %v != total %v", trial, sum, b.TotalW)
+		}
+	}
+}
+
+func randomConfig(rng *rand.Rand, p *Platform) Config {
+	c := Config{
+		Cores:   1 + rng.Intn(p.CoresPerSocket),
+		Sockets: 1 + rng.Intn(p.Sockets),
+		HT:      rng.Intn(2) == 1 && p.ThreadsPerCore > 1,
+		MemCtls: 1 + rng.Intn(p.MemCtls),
+		Freq:    make([]int, p.Sockets),
+		Duty:    make([]float64, p.Sockets),
+	}
+	for s := range c.Freq {
+		c.Freq[s] = rng.Intn(p.NumFreqSettings())
+		c.Duty[s] = 0.25 + 0.75*rng.Float64()
+	}
+	return c
+}
+
+func randomLoad(rng *rand.Rand) SocketLoad {
+	return SocketLoad{
+		BusyCores: rng.Float64() * 8,
+		HTShare:   rng.Float64(),
+		StallFrac: rng.Float64(),
+		BWGBs:     rng.Float64() * 40,
+	}
+}

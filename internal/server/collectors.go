@@ -93,6 +93,43 @@ func (c nodeCollector) Collect(out []pipeline.Sample) []pipeline.Sample {
 	return out
 }
 
+// thermalCollector renders the per-socket thermal families. Families is
+// dynamic: it declares nothing while no live node carries thermal state,
+// so an idle daemon scrapes the exact pre-thermal page (pinned by the
+// empty-manager golden).
+type thermalCollector struct{ mgr *Manager }
+
+var thermalFamilies = []pipeline.MetricFamily{
+	{Name: "pupil_temp_celsius", Help: "Junction temperature of a package power zone, in degrees Celsius.", Kind: pipeline.Gauge},
+	{Name: "pupil_thermal_throttled", Help: "Whether the package protection is duty-cycle throttling the zone (1) or not (0).", Kind: pipeline.Gauge},
+}
+
+func (c thermalCollector) Families() []pipeline.MetricFamily {
+	for _, n := range c.mgr.Nodes() {
+		if len(n.Status().Thermal) > 0 {
+			return thermalFamilies
+		}
+	}
+	return nil
+}
+
+func (c thermalCollector) Collect(out []pipeline.Sample) []pipeline.Sample {
+	for _, n := range c.mgr.Nodes() {
+		st := n.Status()
+		for _, th := range st.Thermal {
+			out = append(out, pipeline.Sample{Family: "pupil_temp_celsius", Node: st.ID, Zone: th.Zone, SimS: st.SimS, Value: th.TempC})
+		}
+		for _, th := range st.Thermal {
+			throttled := 0.0
+			if th.Throttled {
+				throttled = 1
+			}
+			out = append(out, pipeline.Sample{Family: "pupil_thermal_throttled", Node: st.ID, Zone: th.Zone, SimS: st.SimS, Value: throttled})
+		}
+	}
+	return out
+}
+
 // clusterCollector renders the pupil_cluster_* families plus the cluster
 // lifecycle gauges and counters.
 type clusterCollector struct{ mgr *Manager }

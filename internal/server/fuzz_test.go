@@ -35,6 +35,10 @@ func FuzzCreateNodeDecoder(f *testing.F) {
 		`{"technique":"RAPL","cap_watts":140,"workloads":[{"benchmark":"jacobi","threads":32}]}`,
 		`{"technique":"PUPiL","cap_watts":60,"mix":"mix7","watchdog":true,"seed":7}`,
 		`{"cap_watts":140,"workloads":[{"benchmark":"x264","threads":32}],"faults":[{"kind":"stall","target":"controller","duration_s":5}]}`,
+		`{"platform":"thermal","cap_watts":220,"thermal_governor":true,"workloads":[{"benchmark":"swaptions"}]}`,
+		`{"platform":"thermal","cap_watts":220,"thermal":{"ambient_c":45,"tj_max_c":90},"workloads":[{"benchmark":"swaptions"}]}`,
+		`{"cap_watts":140,"thermal":{"rth_c_per_w":-1},"workloads":[{"benchmark":"x264"}]}`,
+		`{"platform":"thermal","cap_watts":220,"thermal":{"tj_max_c":1e999},"workloads":[{"benchmark":"swaptions"}]}`,
 		`{"technique":"nope","cap_watts":140}`,
 		`{"cap_watts":-5}`,
 		`{"cap_watts":140,"bogus_field":1}`,

@@ -67,8 +67,9 @@ type WorkloadConfig struct {
 type NodeConfig struct {
 	// Name is an optional human label; the manager assigns the ID.
 	Name string `json:"name,omitempty"`
-	// Platform is "server" (the default dual-socket Xeon E5-2690) or
-	// "mobile" (the dark-silicon SoC).
+	// Platform is "server" (the default dual-socket Xeon E5-2690),
+	// "mobile" (the dark-silicon SoC), or "thermal" (the thermally
+	// constrained dense-chassis Xeon with temperature-dependent leakage).
 	Platform string `json:"platform,omitempty"`
 	// Technique selects the controller: RAPL, Soft-DVFS, Soft-Modeling,
 	// Soft-Decision, PUPiL (default), or PUPiL-EAS.
@@ -96,9 +97,58 @@ type NodeConfig struct {
 	// or a stalled decision loop degrades the node to hardware-only
 	// capping, with exponential-backoff recovery probes.
 	Watchdog bool `json:"watchdog,omitempty"`
+	// Thermal overrides fields of the platform's thermal model (only valid
+	// on platforms that have one); zero fields keep the platform defaults.
+	Thermal *ThermalConfig `json:"thermal,omitempty"`
+	// ThermalGovernor arms the thermal-headroom governor: the RAPL cap is
+	// pre-emptively tightened as the junction approaches TjMax instead of
+	// waiting for the package protection's duty-cycle cliff. Requires a
+	// platform with a thermal model.
+	ThermalGovernor bool `json:"thermal_governor,omitempty"`
 	// Faults schedules deterministic fault scenarios at creation; more can
 	// be injected later through POST /v1/nodes/{id}/faults.
 	Faults []FaultConfig `json:"faults,omitempty"`
+}
+
+// ThermalConfig is the API form of a per-node thermal model override.
+// Zero-valued fields keep the platform's defaults; the merged model is
+// validated exactly as the engine would, so the API rejects what the
+// engine would reject.
+type ThermalConfig struct {
+	// RthCPerW and CthJPerC are the package thermal resistance (C/W) and
+	// capacitance (J/C).
+	RthCPerW float64 `json:"rth_c_per_w,omitempty"`
+	CthJPerC float64 `json:"cth_j_per_c,omitempty"`
+	// TjMaxC is the junction trip point; AmbientC the inlet temperature.
+	TjMaxC   float64 `json:"tj_max_c,omitempty"`
+	AmbientC float64 `json:"ambient_c,omitempty"`
+	// ThrottleDuty is the duty factor while thermally throttled;
+	// HysteresisC the cooling below TjMax required to unthrottle.
+	ThrottleDuty float64 `json:"throttle_duty,omitempty"`
+	HysteresisC  float64 `json:"hysteresis_c,omitempty"`
+}
+
+// apply merges the override's non-zero fields into the platform's thermal
+// model.
+func (t *ThermalConfig) apply(th *machine.Thermal) {
+	if t.RthCPerW != 0 {
+		th.RthCPerW = t.RthCPerW
+	}
+	if t.CthJPerC != 0 {
+		th.CthJPerC = t.CthJPerC
+	}
+	if t.TjMaxC != 0 {
+		th.TjMaxC = t.TjMaxC
+	}
+	if t.AmbientC != 0 {
+		th.AmbientC = t.AmbientC
+	}
+	if t.ThrottleDuty != 0 {
+		th.ThrottleDuty = t.ThrottleDuty
+	}
+	if t.HysteresisC != 0 {
+		th.HysteresisC = t.HysteresisC
+	}
 }
 
 // FaultConfig is the API form of one fault scenario. Kind/Target pairs and
@@ -177,6 +227,9 @@ type Sample struct {
 	// PowerWatts: package totals with their programmed caps, plus core
 	// and dram components.
 	Zones []driver.ZonePower `json:"zones,omitempty"`
+	// Thermal is the per-socket junction temperature, throttle, and
+	// governor state (absent on platforms without a thermal model).
+	Thermal []driver.SocketTherm `json:"thermal,omitempty"`
 }
 
 // State is a node's lifecycle phase.
@@ -220,6 +273,9 @@ type NodeStatus struct {
 	StreamDropped uint64 `json:"stream_dropped,omitempty"`
 	// Zones are the per-socket RAPL-style power zone readings.
 	Zones []driver.ZonePower `json:"zones,omitempty"`
+	// Thermal is the per-socket junction temperature, throttle, and
+	// governor state (absent on platforms without a thermal model).
+	Thermal []driver.SocketTherm `json:"thermal,omitempty"`
 	// FailReason carries the panic message of a failed node.
 	FailReason string `json:"fail_reason,omitempty"`
 }
@@ -364,6 +420,7 @@ func (n *Node) Status() NodeStatus {
 		Degradations:   sn.Degradations,
 		StreamDropped:  n.fan.TotalDropped(),
 		Zones:          sn.Zones,
+		Thermal:        sn.Thermal,
 		FailReason:     fail,
 	}
 }
@@ -453,6 +510,15 @@ func (n *Node) publishPipeline(smp Sample) {
 	for _, z := range smp.Zones {
 		b = append(b, pipeline.Sample{Family: "pupil_power_watts", Node: n.id, Zone: z.Zone, SimS: smp.SimS, Value: z.PowerWatts})
 	}
+	for _, th := range smp.Thermal {
+		throttled := 0.0
+		if th.Throttled {
+			throttled = 1
+		}
+		b = append(b,
+			pipeline.Sample{Family: "pupil_temp_celsius", Node: n.id, Zone: th.Zone, SimS: smp.SimS, Value: th.TempC},
+			pipeline.Sample{Family: "pupil_thermal_throttled", Node: n.id, Zone: th.Zone, SimS: smp.SimS, Value: throttled})
+	}
 	n.router.PublishBatch(b)
 	n.pubBuf = b
 }
@@ -491,6 +557,7 @@ func (n *Node) advance() (smp Sample, publish, cont bool) {
 		FaultsActive:   sn.FaultsActive,
 		Degraded:       sn.DegradeLevel != "" && sn.DegradeLevel != "normal",
 		Zones:          sn.Zones,
+		Thermal:        sn.Thermal,
 	}
 	n.last = smp
 	if n.maxSim > 0 && sn.Now >= n.maxSim {
@@ -777,6 +844,18 @@ func buildSession(cfg NodeConfig) (*driver.Session, NodeConfig, []string, error)
 	if cfg.Platform == "" {
 		cfg.Platform = "server"
 	}
+	if cfg.Thermal != nil {
+		if plat.Thermal == nil {
+			return nil, cfg, nil, fmt.Errorf("%w: platform %q has no thermal model to override", ErrBadConfig, cfg.Platform)
+		}
+		cfg.Thermal.apply(plat.Thermal)
+		if err := plat.Validate(); err != nil {
+			return nil, cfg, nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+		}
+	}
+	if cfg.ThermalGovernor && plat.Thermal == nil {
+		return nil, cfg, nil, fmt.Errorf("%w: thermal governor needs a platform with a thermal model", ErrBadConfig)
+	}
 	if cfg.Technique == "" {
 		cfg.Technique = "PUPiL"
 	}
@@ -805,6 +884,9 @@ func buildSession(cfg NodeConfig) (*driver.Session, NodeConfig, []string, error)
 	if cfg.Watchdog {
 		sc.Watchdog = driver.DefaultWatchdog()
 	}
+	if cfg.ThermalGovernor {
+		sc.ThermalGovernor = driver.DefaultThermalGovernor()
+	}
 	sess, err := driver.NewSession(sc)
 	if err != nil {
 		return nil, cfg, nil, err
@@ -818,8 +900,10 @@ func platformByName(name string) (*machine.Platform, error) {
 		return machine.E52690Server(), nil
 	case "mobile", "soc":
 		return machine.MobileSoC(), nil
+	case "thermal":
+		return machine.E52690ThermalServer(), nil
 	}
-	return nil, fmt.Errorf("%w: unknown platform %q (want server or mobile)", ErrBadConfig, name)
+	return nil, fmt.Errorf("%w: unknown platform %q (want server, mobile, or thermal)", ErrBadConfig, name)
 }
 
 // newController mirrors the public API's technique table against the

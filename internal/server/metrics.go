@@ -19,6 +19,9 @@ import (
 func newExposition(s *Server) *pipeline.Exposition {
 	expo := pipeline.NewExposition()
 	expo.AddGatherer(nodeCollector{mgr: s.mgr})
+	// Thermal families render only when a live node carries thermal state,
+	// so thermal-free deployments scrape the exact pre-thermal page.
+	expo.AddGatherer(thermalCollector{mgr: s.mgr})
 	expo.AddGatherer(clusterCollector{mgr: s.mgr})
 	expo.AddGatherer(s.mgr.Router().StatsCollector())
 	expo.AddGatherer(httpCollector{s: s})

@@ -72,6 +72,12 @@ type Evaluator struct {
 	allocBW []float64
 	sat     []bool
 	loads   []machine.SocketLoad
+
+	// tempQ holds the quantized per-socket junction temperatures the next
+	// evaluation runs at — an explicit eval input, not part of the config
+	// cache key. Temperature feeds only the dynamic (per-call) half of the
+	// model, so the static terms stay valid across temperature changes.
+	tempQ []float64
 }
 
 // NewEvaluator returns an evaluator over a fixed platform and app set.
@@ -98,6 +104,7 @@ func NewEvaluator(p *machine.Platform, apps []*workload.Instance) *Evaluator {
 		allocBW:     make([]float64, n),
 		sat:         make([]bool, n),
 		loads:       make([]machine.SocketLoad, p.Sockets),
+		tempQ:       make([]float64, p.Sockets),
 	}
 }
 
@@ -109,7 +116,26 @@ func (e *Evaluator) Invalidate() { e.valid = false }
 
 // Eval evaluates cfg at simulated time now, rebuilding the static model
 // terms only when cfg differs from the previous call's configuration.
+// Junction temperatures are taken as unmodeled (zero); platforms with a
+// leakage model should use EvalAt.
 func (e *Evaluator) Eval(cfg machine.Config, now time.Duration) Eval {
+	return e.EvalAt(cfg, now, nil)
+}
+
+// EvalAt is Eval with per-socket junction temperatures as an explicit
+// input. Temperatures are quantized to TempQuantC before use — two calls
+// whose temperatures land on the same grid points are bit-identical —
+// and feed only the per-call dynamic half of the model, so temperature
+// changes never invalidate the configuration-keyed static cache. A nil or
+// short slice leaves the missing sockets unmodeled (zero).
+func (e *Evaluator) EvalAt(cfg machine.Config, now time.Duration, tempsC []float64) Eval {
+	for s := range e.tempQ {
+		if s < len(tempsC) {
+			e.tempQ[s] = QuantizeTempC(tempsC[s])
+		} else {
+			e.tempQ[s] = 0
+		}
+	}
 	if !e.valid || !cfg.Equal(e.key) {
 		e.rebuild(cfg)
 	}
@@ -241,7 +267,10 @@ func (e *Evaluator) dynamic(now time.Duration) Eval {
 		Loads:      e.loads,
 	}
 	if n == 0 {
-		ev.PowerTotal = p.PowerInto(e.powerSocket, cfg, nil)
+		for s := range e.loads {
+			e.loads[s] = machine.SocketLoad{TempC: e.tempQ[s]}
+		}
+		ev.PowerTotal = p.PowerInto(e.powerSocket, cfg, e.loads)
 		ev.PowerSocket = e.powerSocket
 		return ev
 	}
@@ -316,6 +345,9 @@ func (e *Evaluator) dynamic(now time.Duration) Eval {
 	}
 	for s := 0; s < cfg.MemCtls && s < p.Sockets; s++ {
 		e.loads[s].BWGBs = ev.MemBWGBs / float64(cfg.MemCtls)
+	}
+	for s := range e.loads {
+		e.loads[s].TempC = e.tempQ[s]
 	}
 	ev.PowerTotal = p.PowerInto(e.powerSocket, cfg, e.loads)
 	ev.PowerSocket = e.powerSocket

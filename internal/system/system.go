@@ -10,11 +10,25 @@
 package system
 
 import (
+	"math"
 	"time"
 
 	"pupil/internal/machine"
 	"pupil/internal/workload"
 )
+
+// TempQuantC is the grid step junction temperatures are snapped to before
+// they enter the model. Quantization keeps evaluation deterministic and
+// caps how often a slowly drifting temperature can force the driver to
+// re-evaluate: a refresh is only warranted when the temperature crosses a
+// grid boundary. 0.25 C changes leakage by well under 1% per step on any
+// plausible doubling interval, far below the telemetry noise floor.
+const TempQuantC = 0.25
+
+// QuantizeTempC snaps a junction temperature onto the model's input grid.
+func QuantizeTempC(t float64) float64 {
+	return math.Round(t/TempQuantC) * TempQuantC
+}
 
 // Model constants of the memory subsystem.
 const (
@@ -63,6 +77,12 @@ type Eval struct {
 // configuration-invariant model terms every call.
 func Evaluate(p *machine.Platform, cfg machine.Config, apps []*workload.Instance, now time.Duration) Eval {
 	return NewEvaluator(p, apps).Eval(cfg, now)
+}
+
+// EvaluateAt is Evaluate with per-socket junction temperatures as an
+// explicit input, the one-shot form of Evaluator.EvalAt.
+func EvaluateAt(p *machine.Platform, cfg machine.Config, apps []*workload.Instance, now time.Duration, tempsC []float64) Eval {
+	return NewEvaluator(p, apps).EvalAt(cfg, now, tempsC)
 }
 
 // Clone returns a deep copy whose slices are independent of the receiver's.

@@ -1,0 +1,105 @@
+package system
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"pupil/internal/machine"
+)
+
+func evalEqual(a, b Eval) bool {
+	// Field-by-field with == on floats: the caching contract is
+	// bit-identity, not tolerance.
+	return reflect.DeepEqual(a, b)
+}
+
+// Cache-correctness property: a long-lived Evaluator fed a random walk of
+// configurations and temperatures must stay bit-identical to a fresh
+// one-shot evaluation at every step. This is the contract that makes
+// temperature an explicit eval input rather than a silent cache poison —
+// the config-keyed static cache must never capture stale temperature.
+func TestEvaluatorCacheBitIdenticalAcrossTemperatureChanges(t *testing.T) {
+	p := machine.E52690ThermalServer()
+	as := apps(t, 24, "x264", "STREAM")
+	cached := NewEvaluator(p, as)
+	fresh := func(c machine.Config, now time.Duration, temps []float64) Eval {
+		return EvaluateAt(p, c, as, now, temps)
+	}
+
+	rng := rand.New(rand.NewSource(2016))
+	configs := []machine.Config{
+		cfg(p, 8, 2, true, 2, 15),
+		cfg(p, 8, 2, true, 2, 7),
+		cfg(p, 4, 1, false, 1, 3),
+		cfg(p, 6, 2, false, 2, 11),
+	}
+	temps := make([]float64, p.Sockets)
+	for step := 0; step < 400; step++ {
+		// Mostly hold the config (exercising the cache-hit path while
+		// temperature moves), occasionally switch it.
+		c := configs[0]
+		if rng.Float64() < 0.15 {
+			c = configs[rng.Intn(len(configs))]
+		}
+		for s := range temps {
+			temps[s] = 25 + rng.Float64()*70
+		}
+		now := time.Duration(step) * 17 * time.Millisecond
+		got := cached.EvalAt(c, now, temps).Clone()
+		want := fresh(c, now, temps)
+		if !evalEqual(got, want) {
+			t.Fatalf("step %d: cached eval diverged from fresh\ncached: %+v\nfresh:  %+v", step, got, want)
+		}
+	}
+}
+
+// Temperatures inside the same quantization cell evaluate bit-identically;
+// crossing a cell boundary with an active leakage model changes power.
+func TestTemperatureQuantization(t *testing.T) {
+	p := machine.E52690ThermalServer()
+	as := apps(t, 24, "x264")
+	c := cfg(p, 8, 2, true, 2, 12)
+	e := NewEvaluator(p, as)
+
+	a := e.EvalAt(c, 0, []float64{80.01, 80.01}).Clone()
+	b := e.EvalAt(c, 0, []float64{80.11, 80.11}).Clone()
+	if !evalEqual(a, b) {
+		t.Fatalf("temperatures in the same %.2f C cell should be bit-identical", TempQuantC)
+	}
+	hot := e.EvalAt(c, 0, []float64{90, 90}).Clone()
+	if hot.PowerTotal <= a.PowerTotal {
+		t.Fatalf("hotter junction should draw more power: %v W at 90 C vs %v W at 80 C", hot.PowerTotal, a.PowerTotal)
+	}
+
+	if q := QuantizeTempC(80.01); q != 80.0 {
+		t.Fatalf("QuantizeTempC(80.01) = %v", q)
+	}
+	if q := QuantizeTempC(80.2); q != 80.25 {
+		t.Fatalf("QuantizeTempC(80.2) = %v", q)
+	}
+}
+
+// With no leakage model (or unmodeled zero temperature) EvalAt must be
+// bit-identical to plain Eval — temperature threading cannot disturb the
+// reference platforms' goldens.
+func TestEvalAtIdentityWithoutLeakage(t *testing.T) {
+	p := plat() // E52690Server: Thermal set, Leakage nil
+	as := apps(t, 32, "kmeans", "blackscholes")
+	c := cfg(p, 8, 2, true, 2, 14)
+
+	e1 := NewEvaluator(p, as)
+	e2 := NewEvaluator(p, as)
+	for step := 0; step < 50; step++ {
+		now := time.Duration(step) * 11 * time.Millisecond
+		plainEval := e1.Eval(c, now).Clone()
+		tempEval := e2.EvalAt(c, now, []float64{60 + float64(step), 55}).Clone()
+		// Loads carry the temperature through for observability, but every
+		// model output must match exactly.
+		tempEval.Loads = plainEval.Loads
+		if !evalEqual(plainEval, tempEval) {
+			t.Fatalf("step %d: EvalAt with temps diverged on a leakage-free platform", step)
+		}
+	}
+}
